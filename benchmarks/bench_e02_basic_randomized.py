@@ -1,0 +1,17 @@
+"""E2 — Corollary 2.1: the basic d2-Color pipeline runs in O(log^3 n) rounds.
+
+Regenerates the E2 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e02_basic_randomized
+
+from conftest import report
+
+
+def test_e02_basic_randomized(benchmark):
+    table = benchmark.pedantic(
+        e02_basic_randomized, iterations=1, rounds=1
+    )
+    report(table)

@@ -1,0 +1,17 @@
+"""E3 — Theorem 1.2: deterministic Delta^2+1 d2-coloring in O(Delta^2 + log* n) rounds.
+
+Regenerates the E3 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e03_deterministic
+
+from conftest import report
+
+
+def test_e03_deterministic(benchmark):
+    table = benchmark.pedantic(
+        e03_deterministic, iterations=1, rounds=1
+    )
+    report(table)

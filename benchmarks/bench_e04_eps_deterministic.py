@@ -1,0 +1,17 @@
+"""E4 — Theorem 1.3: deterministic (1+eps)Delta^2 d2-coloring.
+
+Regenerates the E4 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e04_eps_deterministic
+
+from conftest import report
+
+
+def test_e04_eps_deterministic(benchmark):
+    table = benchmark.pedantic(
+        e04_eps_deterministic, iterations=1, rounds=1
+    )
+    report(table)

@@ -1,0 +1,17 @@
+"""E6 — Theorem 3.2 / Lemma 3.3: local refinement splitting degree guarantees.
+
+Regenerates the E6 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e06_splitting
+
+from conftest import report
+
+
+def test_e06_splitting(benchmark):
+    table = benchmark.pedantic(
+        e06_splitting, iterations=1, rounds=1
+    )
+    report(table)

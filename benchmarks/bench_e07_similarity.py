@@ -1,0 +1,17 @@
+"""E7 — Theorem 2.2: sampled similarity graphs classify pairs correctly.
+
+Regenerates the E7 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e07_similarity
+
+from conftest import report
+
+
+def test_e07_similarity(benchmark):
+    table = benchmark.pedantic(
+        e07_similarity, iterations=1, rounds=1
+    )
+    report(table)

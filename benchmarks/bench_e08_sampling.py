@@ -1,0 +1,17 @@
+"""E8 — Lemma 2.3: the XOR lottery draws uniformly random H-neighbors.
+
+Regenerates the E8 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e08_sampling
+
+from conftest import report
+
+
+def test_e08_sampling(benchmark):
+    table = benchmark.pedantic(
+        e08_sampling, iterations=1, rounds=1
+    )
+    report(table)

@@ -1,0 +1,17 @@
+"""E9 — Proposition 2.5: one random round converts sparsity into slack.
+
+Regenerates the E9 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e09_slack
+
+from conftest import report
+
+
+def test_e09_slack(benchmark):
+    table = benchmark.pedantic(
+        e09_slack, iterations=1, rounds=1
+    )
+    report(table)

@@ -1,0 +1,17 @@
+"""E10 — Lemma 2.14: FinishColoring completes in O(log n) rounds.
+
+Regenerates the E10 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e10_finish
+
+from conftest import report
+
+
+def test_e10_finish(benchmark):
+    table = benchmark.pedantic(
+        e10_finish, iterations=1, rounds=1
+    )
+    report(table)

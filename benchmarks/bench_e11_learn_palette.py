@@ -1,0 +1,17 @@
+"""E11 — Theorem 2.16: LearnPalette learns exact remaining palettes in O(log n) rounds.
+
+Regenerates the E11 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e11_learn_palette
+
+from conftest import report
+
+
+def test_e11_learn_palette(benchmark):
+    table = benchmark.pedantic(
+        e11_learn_palette, iterations=1, rounds=1
+    )
+    report(table)

@@ -1,0 +1,17 @@
+"""E12 — Lemma B.3: at most 2*Delta^2 blocked phases in the locally-iterative scheme.
+
+Regenerates the E12 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e12_blocked_phases
+
+from conftest import report
+
+
+def test_e12_blocked_phases(benchmark):
+    table = benchmark.pedantic(
+        e12_blocked_phases, iterations=1, rounds=1
+    )
+    report(table)

@@ -1,0 +1,17 @@
+"""E13 — Theorem B.1: Linial yields O(Delta^4) colors in O(Delta + log* n) rounds.
+
+Regenerates the E13 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e13_linial
+
+from conftest import report
+
+
+def test_e13_linial(benchmark):
+    table = benchmark.pedantic(
+        e13_linial, iterations=1, rounds=1
+    )
+    report(table)

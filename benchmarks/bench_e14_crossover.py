@@ -1,0 +1,17 @@
+"""E14 — Section 1: the naive G^2 simulation pays Theta(Delta) rounds per G^2 round.
+
+Regenerates the E14 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e14_crossover
+
+from conftest import report
+
+
+def test_e14_crossover(benchmark):
+    table = benchmark.pedantic(
+        e14_crossover, iterations=1, rounds=1
+    )
+    report(table)

@@ -1,0 +1,17 @@
+"""E15 — CONGEST compliance: every message fits in O(log n) bits.
+
+Regenerates the E15 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e15_bandwidth
+
+from conftest import report
+
+
+def test_e15_bandwidth(benchmark):
+    table = benchmark.pedantic(
+        e15_bandwidth, iterations=1, rounds=1
+    )
+    report(table)

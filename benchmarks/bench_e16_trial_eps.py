@@ -1,0 +1,17 @@
+"""E16 — Section 2.1: a (1+eps)Delta^2 palette makes random trials finish fast.
+
+Regenerates the E16 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e16_trial_eps
+
+from conftest import report
+
+
+def test_e16_trial_eps(benchmark):
+    table = benchmark.pedantic(
+        e16_trial_eps, iterations=1, rounds=1
+    )
+    report(table)

@@ -1,0 +1,17 @@
+"""E17 — Section 1: distance-k MIS via Luby in O(k log n) rounds.
+
+Regenerates the E17 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e17_luby_mis
+
+from conftest import report
+
+
+def test_e17_luby_mis(benchmark):
+    table = benchmark.pedantic(
+        e17_luby_mis, iterations=1, rounds=1
+    )
+    report(table)

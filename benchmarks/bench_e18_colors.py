@@ -1,0 +1,17 @@
+"""E18 — Color quality across algorithms; Moore graphs force the full palette.
+
+Regenerates the E18 table from DESIGN.md §2 and asserts its
+invariant checks; the printed table reports CONGEST rounds and color
+counts next to the paper's claim.
+"""
+
+from repro.harness.experiments import e18_colors
+
+from conftest import report
+
+
+def test_e18_colors(benchmark):
+    table = benchmark.pedantic(
+        e18_colors, iterations=1, rounds=1
+    )
+    report(table)

@@ -1,0 +1,16 @@
+"""E19 — ablations of the randomized algorithm's design choices.
+
+Varies the initial-trial budget, the activation/query probabilities,
+the ladder floor, and the LearnPalette mode on the dense extremal
+instance, asserting that every variant still completes validly
+(robustness) while the round counts expose each mechanism's share.
+"""
+
+from repro.harness.experiments import e19_ablation
+
+from conftest import report
+
+
+def test_e19_ablation(benchmark):
+    table = benchmark.pedantic(e19_ablation, iterations=1, rounds=1)
+    report(table)

@@ -1,0 +1,29 @@
+"""Shared helpers for the experiment benches.
+
+Every bench (a) regenerates one experiment table from DESIGN.md §2,
+(b) prints it (run pytest with ``-s`` to see the tables inline; they
+are also written to ``benchmarks/results/``), and (c) hard-asserts
+the experiment's invariant checks.  Wall-clock timing via
+pytest-benchmark is secondary — the measured quantity of interest is
+CONGEST rounds, which lives in the tables.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(table):
+    """Print, persist, and assert an experiment table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    rendered = table.render()
+    print("\n" + rendered)
+    out = RESULTS_DIR / f"{table.exp_id}.txt"
+    out.write_text(rendered + "\n", encoding="utf-8")
+    failed = [
+        name for name, passed in table.checks.items() if not passed
+    ]
+    assert not failed, f"{table.exp_id} failed checks: {failed}"
+    return table

@@ -1,0 +1,63 @@
+"""Strong coloring of a task/resource hypergraph via d2-coloring.
+
+From the paper's introduction: "One natural setting is when the nodes
+form a bipartite graph, with 'task' nodes on one side and 'resource'
+nodes on the other side.  We want to color the task nodes so that
+nodes using the same resource receive different colors."
+
+Two tasks sharing a resource are at distance 2 in the bipartite
+graph, so a d2-coloring restricted to the task side is exactly such a
+strong coloring.  This example builds a random task/resource system,
+d2-colors it with the deterministic algorithm (Theorem 1.2), and
+verifies the scheduling property: within every resource's task set,
+all colors are distinct — so tasks of one color class can run
+concurrently without resource contention.
+
+Run:  python examples/task_resource_strong_coloring.py
+"""
+
+from collections import defaultdict
+
+from repro import deterministic_d2_color
+from repro.graphs.generators import random_bipartite_tasks
+
+
+def main() -> None:
+    tasks, resources, per_task = 40, 15, 3
+    graph = random_bipartite_tasks(
+        tasks, resources, per_task, seed=5
+    )
+    print(
+        f"{tasks} tasks, {resources} resources, "
+        f"{per_task} resources per task"
+    )
+
+    result = deterministic_d2_color(graph)
+    coloring = result.coloring
+
+    # Group tasks by resource and check strong-coloring property.
+    tasks_of_resource = defaultdict(list)
+    for task in range(tasks):
+        for resource in graph.neighbors(task):
+            tasks_of_resource[resource].append(task)
+    for resource, users in tasks_of_resource.items():
+        colors = [coloring[t] for t in users]
+        assert len(colors) == len(set(colors)), (
+            f"resource {resource} has a color clash"
+        )
+    print("strong coloring verified: no resource sees a repeat")
+
+    # Color classes = conflict-free execution waves.
+    waves = defaultdict(list)
+    for task in range(tasks):
+        waves[coloring[task]].append(task)
+    print(
+        f"{len(waves)} execution waves "
+        f"(deterministic, {result.rounds} CONGEST rounds):"
+    )
+    for wave, members in sorted(waves.items())[:6]:
+        print(f"  wave {wave:>3}: {len(members)} tasks")
+
+
+if __name__ == "__main__":
+    main()

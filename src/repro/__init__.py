@@ -1,0 +1,58 @@
+"""repro: a reproduction of "Distance-2 Coloring in the CONGEST Model".
+
+Halldórsson, Kuhn, Maus (PODC 2020, arXiv:2005.06528).
+
+The package implements the paper's randomized and deterministic
+distance-2 coloring algorithms on top of a from-scratch synchronous
+CONGEST simulator, together with every substrate the paper relies on
+(similarity graphs, Linial coloring, locally-iterative coloring, local
+refinement splitting with derandomization, network decomposition) and
+the baselines it argues against.
+
+Quickstart::
+
+    import networkx as nx
+    from repro import improved_d2_color, check_d2_coloring
+
+    graph = nx.random_regular_graph(6, 60, seed=1)
+    graph = nx.convert_node_labels_to_integers(graph)
+    result = improved_d2_color(graph, seed=42)
+    assert check_d2_coloring(graph, result.coloring).valid
+"""
+
+from repro.results import ColoringResult, PhaseResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ColoringResult",
+    "PhaseResult",
+    "__version__",
+    # re-exported lazily below
+    "improved_d2_color",
+    "basic_d2_color",
+    "deterministic_d2_color",
+    "eps_d2_color",
+    "check_d2_coloring",
+]
+
+
+def __getattr__(name):
+    """Lazily re-export the top-level API to keep import time low."""
+    if name in ("improved_d2_color", "basic_d2_color"):
+        from repro.core import d2color
+
+        return getattr(d2color, name)
+    if name == "deterministic_d2_color":
+        from repro.det.det_d2color import deterministic_d2_color
+
+        return deterministic_d2_color
+    if name == "eps_d2_color":
+        from repro.det.eps_d2coloring import eps_d2_color
+
+        return eps_d2_color
+    if name == "check_d2_coloring":
+        from repro.verify.checker import check_d2_coloring
+
+        return check_d2_coloring
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

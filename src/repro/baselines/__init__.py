@@ -1,0 +1,14 @@
+"""Baselines: centralized oracles and the algorithms the paper beats."""
+
+from repro.baselines.greedy import dsatur_d2_coloring, greedy_d2_coloring
+from repro.baselines.trial import trial_d2_color
+from repro.baselines.naive import naive_congest_d2_color
+from repro.baselines.luby import luby_distance_k_mis
+
+__all__ = [
+    "dsatur_d2_coloring",
+    "greedy_d2_coloring",
+    "luby_distance_k_mis",
+    "naive_congest_d2_color",
+    "trial_d2_color",
+]

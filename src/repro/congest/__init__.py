@@ -1,0 +1,46 @@
+"""Synchronous CONGEST-model simulator.
+
+The CONGEST model (Peleg 2000) is a synchronous message-passing model:
+the input graph is also the communication network, every node has a
+unique O(log n)-bit identifier, and in each round every node may send a
+(possibly different) message of at most O(log n) bits to each neighbor.
+
+This package provides:
+
+- :class:`~repro.congest.network.Network` -- the synchronous round
+  executor,
+- :class:`~repro.congest.node.NodeProgram` -- the base class for
+  per-node protocols written as Python generators,
+- :class:`~repro.congest.policy.BandwidthPolicy` -- O(log n)-bit
+  bandwidth accounting and enforcement,
+- :mod:`~repro.congest.pipelining` -- helpers for the "pipelining"
+  steps used throughout the paper (multi-round transfers of item lists
+  with bit-budget-aware packing).
+"""
+
+from repro.congest.errors import (
+    BandwidthExceededError,
+    CongestError,
+    ProtocolViolationError,
+)
+from repro.congest.message import Broadcast, bit_size
+from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.network import Network, RunResult
+from repro.congest.node import NodeContext, NodeProgram
+from repro.congest.policy import BandwidthMode, BandwidthPolicy
+
+__all__ = [
+    "BandwidthExceededError",
+    "BandwidthMode",
+    "BandwidthPolicy",
+    "Broadcast",
+    "CongestError",
+    "Network",
+    "NodeContext",
+    "NodeProgram",
+    "ProtocolViolationError",
+    "RoundMetrics",
+    "RunMetrics",
+    "RunResult",
+    "bit_size",
+]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the CONGEST simulator."""
+
+
+class CongestError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ProtocolViolationError(CongestError):
+    """A node program violated the model contract.
+
+    Examples: sending to a non-neighbor, sending two messages over the
+    same edge in one round, yielding a non-dict outbox.
+    """
+
+
+class BandwidthExceededError(CongestError):
+    """A message exceeded the bandwidth budget under a STRICT policy."""
+
+    def __init__(self, sender, receiver, bits, budget):
+        self.sender = sender
+        self.receiver = receiver
+        self.bits = bits
+        self.budget = budget
+        super().__init__(
+            f"message {sender}->{receiver} is {bits} bits; "
+            f"budget is {budget} bits"
+        )
+
+
+class NonterminationError(CongestError):
+    """The network reached ``max_rounds`` before all programs halted."""
+
+    def __init__(self, max_rounds, still_running):
+        self.max_rounds = max_rounds
+        self.still_running = still_running
+        super().__init__(
+            f"{len(still_running)} node(s) still running after "
+            f"{max_rounds} rounds (e.g. {sorted(still_running)[:5]})"
+        )

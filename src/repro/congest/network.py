@@ -1,0 +1,292 @@
+"""The synchronous CONGEST network executor.
+
+:class:`Network` drives one :class:`~repro.congest.node.NodeProgram`
+per graph node in lockstep rounds:
+
+1. every running program is resumed with its inbox and yields an
+   outbox (``{neighbor: payload}`` or ``Broadcast``),
+2. the network validates each message (receiver must be a neighbor)
+   and meters its bit size against the bandwidth policy,
+3. messages are delivered simultaneously; the next round begins.
+
+A program halts by returning; its return value becomes the node's
+output.  The run ends when every program has halted, when the optional
+``stop_when`` monitor fires, or after ``max_rounds``.
+
+``stop_when`` is a *simulation-level* convenience (it peeks at global
+state, which no CONGEST node could): it only stops the simulation
+early, e.g. once every node is colored, and is reported as such.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Callable, Dict, Optional
+
+import networkx as nx
+
+from repro.congest.errors import (
+    BandwidthExceededError,
+    NonterminationError,
+    ProtocolViolationError,
+)
+from repro.congest.message import Broadcast, bit_size
+from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.node import NodeContext, NodeProgram
+from repro.congest.policy import BandwidthMode, BandwidthPolicy
+from repro.congest.rng import derive_rng
+
+_EMPTY_INBOX: Dict[int, Any] = MappingProxyType({})
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`Network.run` execution."""
+
+    outputs: Dict[int, Any]
+    metrics: RunMetrics
+    halted: bool
+    stopped_early: bool = False
+    #: Node -> program instance, for post-hoc state inspection in tests.
+    programs: Dict[int, NodeProgram] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+
+class Network:
+    """Synchronous CONGEST executor over a networkx graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph; node labels must be integers
+        (they double as the O(log n)-bit identifiers).
+    program_factory:
+        Callable ``(NodeContext) -> NodeProgram``.
+    seed:
+        Root seed; per-node RNGs are derived deterministically.
+    policy:
+        Bandwidth policy; defaults to TRACK (measure, never fail).
+    delta:
+        Maximum degree communicated to nodes; defaults to the true
+        maximum degree of ``graph``.
+    inputs:
+        Optional ``{node: dict}`` of per-node protocol inputs.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        program_factory: Callable[[NodeContext], NodeProgram],
+        seed: Any = 0,
+        policy: Optional[BandwidthPolicy] = None,
+        delta: Optional[int] = None,
+        inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+    ):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("cannot build a network on an empty graph")
+        for node in graph.nodes:
+            if not isinstance(node, int):
+                raise TypeError(
+                    "node labels must be ints (they are the O(log n)-bit "
+                    f"identifiers); got {node!r}"
+                )
+        self.graph = graph
+        self.policy = policy or BandwidthPolicy()
+        self.n = graph.number_of_nodes()
+        self.delta = (
+            delta
+            if delta is not None
+            else max((d for _, d in graph.degree), default=0)
+        )
+        self._budget = self.policy.budget_bits(self.n)
+        inputs = inputs or {}
+
+        self.contexts: Dict[int, NodeContext] = {}
+        self.programs: Dict[int, NodeProgram] = {}
+        self._generators: Dict[int, Any] = {}
+        for node in graph.nodes:
+            ctx = NodeContext(
+                node=node,
+                neighbors=tuple(sorted(graph.neighbors(node))),
+                n=self.n,
+                delta=self.delta,
+                rng=derive_rng(seed, "node", node),
+                data=dict(inputs.get(node, {})),
+            )
+            self.contexts[node] = ctx
+            program = program_factory(ctx)
+            self.programs[node] = program
+            self._generators[node] = program.run()
+
+        self._neighbor_sets = {
+            node: frozenset(ctx.neighbors)
+            for node, ctx in self.contexts.items()
+        }
+        self.outputs: Dict[int, Any] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_rounds: int = 1_000_000,
+        stop_when: Optional[Callable[["Network", int], bool]] = None,
+        raise_on_timeout: bool = True,
+        record_rounds: bool = False,
+    ) -> RunResult:
+        """Execute rounds until all programs halt (or stop/timeout)."""
+        metrics = RunMetrics(budget_bits=self._budget)
+        running = dict(self._generators)
+        inboxes: Dict[int, Dict[int, Any]] = {}
+        stopped_early = False
+
+        round_index = 0
+        while running:
+            if round_index >= max_rounds:
+                if raise_on_timeout:
+                    raise NonterminationError(max_rounds, set(running))
+                break
+            if stop_when is not None and stop_when(self, round_index):
+                stopped_early = True
+                break
+
+            round_metrics = RoundMetrics(round_index)
+            next_inboxes: Dict[int, Dict[int, Any]] = {}
+            halted_now = []
+
+            for node, gen in running.items():
+                inbox = inboxes.get(node, _EMPTY_INBOX)
+                try:
+                    if self._started or round_index > 0:
+                        outbox = gen.send(inbox)
+                    else:
+                        outbox = gen.send(None)
+                except StopIteration as stop:
+                    self.outputs[node] = stop.value
+                    halted_now.append(node)
+                    continue
+                self._deliver(
+                    node, outbox, next_inboxes, metrics, round_metrics
+                )
+
+            # The first resume of each generator happens lazily above;
+            # after one full pass every generator has been started.
+            self._started = True
+
+            for node in halted_now:
+                del running[node]
+            inboxes = next_inboxes
+            # A trailing resume in which every remaining program halts
+            # without sending is local computation, not a communication
+            # round: a node that receives in round r and then returns
+            # has round complexity r.  (This also makes genuinely
+            # zero-round protocols report 0 rounds.)
+            if running or round_metrics.messages > 0:
+                metrics.rounds += 1
+                if record_rounds:
+                    metrics.per_round.append(round_metrics)
+            round_index += 1
+
+        return RunResult(
+            outputs=dict(self.outputs),
+            metrics=metrics,
+            halted=not running,
+            stopped_early=stopped_early,
+            programs=self.programs,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _deliver(
+        self,
+        sender: int,
+        outbox: Any,
+        next_inboxes: Dict[int, Dict[int, Any]],
+        metrics: RunMetrics,
+        round_metrics: RoundMetrics,
+    ) -> None:
+        if outbox is None:
+            return
+        if isinstance(outbox, Broadcast):
+            payload = outbox.payload
+            bits = bit_size(payload)
+            self._meter(sender, "<all>", bits, metrics, round_metrics)
+            for receiver in self.contexts[sender].neighbors:
+                next_inboxes.setdefault(receiver, {})[sender] = payload
+            round_metrics.messages += len(self.contexts[sender].neighbors)
+            return
+        if not isinstance(outbox, dict):
+            raise ProtocolViolationError(
+                f"node {sender} yielded {type(outbox).__name__}; "
+                "expected dict or Broadcast"
+            )
+        if not outbox:
+            return
+        allowed = self._neighbor_sets[sender]
+        for receiver, payload in outbox.items():
+            if receiver not in allowed:
+                raise ProtocolViolationError(
+                    f"node {sender} sent to non-neighbor {receiver}"
+                )
+            bits = bit_size(payload)
+            self._meter(sender, receiver, bits, metrics, round_metrics)
+            next_inboxes.setdefault(receiver, {})[sender] = payload
+            round_metrics.messages += 1
+
+    def _meter(
+        self,
+        sender: int,
+        receiver: Any,
+        bits: int,
+        metrics: RunMetrics,
+        round_metrics: RoundMetrics,
+    ) -> None:
+        metrics.observe(bits)
+        round_metrics.bits += bits
+        if bits > round_metrics.max_message_bits:
+            round_metrics.max_message_bits = bits
+        if bits <= self._budget:
+            return
+        if self.policy.mode is BandwidthMode.STRICT:
+            raise BandwidthExceededError(sender, receiver, bits, self._budget)
+        if self.policy.mode is BandwidthMode.TRACK:
+            metrics.observe_violation(bits)
+        # UNBOUNDED: measured but never flagged.
+
+
+def run_protocol(
+    graph: nx.Graph,
+    program_factory: Callable[[NodeContext], NodeProgram],
+    seed: Any = 0,
+    policy: Optional[BandwidthPolicy] = None,
+    delta: Optional[int] = None,
+    inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+    max_rounds: int = 1_000_000,
+    stop_when: Optional[Callable[[Network, int], bool]] = None,
+) -> RunResult:
+    """One-shot convenience: build a :class:`Network` and run it."""
+    network = Network(
+        graph,
+        program_factory,
+        seed=seed,
+        policy=policy,
+        delta=delta,
+        inputs=inputs,
+    )
+    return network.run(
+        max_rounds=max_rounds,
+        stop_when=stop_when,
+        raise_on_timeout=stop_when is None,
+    )
+
+
+def log2_ceil(n: int) -> int:
+    """``ceil(log2 n)`` with ``log2_ceil(1) == 1`` (id width floor)."""
+    if n <= 2:
+        return 1
+    return math.ceil(math.log2(n))

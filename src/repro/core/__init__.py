@@ -1,0 +1,13 @@
+"""The paper's randomized contribution (Sec. 2).
+
+Top-level entry points:
+
+- :func:`repro.core.d2color.basic_d2_color` — Algorithm ``d2-Color``
+  (Corollary 2.1, O(log³ n) rounds),
+- :func:`repro.core.d2color.improved_d2_color` —
+  ``Improved-d2-Color`` (Theorem 1.1, O(log Δ log n) rounds).
+"""
+
+from repro.core.constants import Constants
+
+__all__ = ["Constants"]

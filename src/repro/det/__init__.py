@@ -1,0 +1,11 @@
+"""The paper's deterministic algorithms (Sec. 3 and Appendix B).
+
+- Theorem 1.2 chain: :mod:`repro.det.linial` →
+  :mod:`repro.det.locally_iterative` →
+  :mod:`repro.det.color_reduction`, orchestrated by
+  :mod:`repro.det.det_d2color`.
+- Theorem 1.3 chain: :mod:`repro.det.decomposition` →
+  :mod:`repro.det.splitting` → :mod:`repro.det.recursive_split` →
+  :mod:`repro.det.eps_coloring` (Thm 3.4 on G) →
+  :mod:`repro.det.eps_d2coloring` (Thm 1.3 on G²).
+"""

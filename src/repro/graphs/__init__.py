@@ -1,0 +1,27 @@
+"""Graph substrate: squares, sparsity/slack/leeway, generators, instances."""
+
+from repro.graphs.properties import (
+    leeway,
+    slack,
+    solid_nodes,
+    sparsity,
+)
+from repro.graphs.square import (
+    common_d2_neighbors,
+    d2_degree,
+    d2_neighbors,
+    max_d2_degree,
+    square,
+)
+
+__all__ = [
+    "common_d2_neighbors",
+    "d2_degree",
+    "d2_neighbors",
+    "leeway",
+    "max_d2_degree",
+    "slack",
+    "solid_nodes",
+    "sparsity",
+    "square",
+]

@@ -1,0 +1,214 @@
+"""Workload graph generators.
+
+All generators return graphs with consecutive integer node labels
+(required by the simulator: labels double as O(log n)-bit IDs).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+import networkx as nx
+
+
+def ensure_int_labels(graph: nx.Graph) -> nx.Graph:
+    """Relabel nodes to 0..n-1 (sorted order when sortable)."""
+    try:
+        ordering = sorted(graph.nodes)
+    except TypeError:
+        ordering = list(graph.nodes)
+    mapping = {node: index for index, node in enumerate(ordering)}
+    return nx.relabel_nodes(graph, mapping, copy=True)
+
+
+def random_regular(degree: int, n: int, seed: int = 0) -> nx.Graph:
+    """Connected-ish random ``degree``-regular graph on ``n`` nodes."""
+    if degree >= n:
+        raise ValueError("degree must be < n")
+    if (degree * n) % 2 != 0:
+        n += 1
+    graph = nx.random_regular_graph(degree, n, seed=seed)
+    return ensure_int_labels(graph)
+
+
+def gnp(n: int, p: float, seed: int = 0) -> nx.Graph:
+    """Erdős–Rényi G(n, p)."""
+    return ensure_int_labels(nx.gnp_random_graph(n, p, seed=seed))
+
+
+def unit_disk(
+    n: int,
+    radius: float,
+    seed: int = 0,
+    side: float = 1.0,
+) -> nx.Graph:
+    """Random unit-disk graph: the wireless-interference workload.
+
+    Nodes are placed uniformly in a ``side`` x ``side`` square and
+    joined when within ``radius``.  d2-coloring of this graph is the
+    frequency-assignment problem from the paper's introduction
+    (nodes with common neighbors interfere).
+    Positions are stored as the node attribute ``pos``.
+    """
+    rng = random.Random(seed)
+    points = [
+        (rng.uniform(0, side), rng.uniform(0, side)) for _ in range(n)
+    ]
+    graph = nx.Graph()
+    for index, point in enumerate(points):
+        graph.add_node(index, pos=point)
+    r_sq = radius * radius
+    for i in range(n):
+        xi, yi = points[i]
+        for j in range(i + 1, n):
+            xj, yj = points[j]
+            if (xi - xj) ** 2 + (yi - yj) ** 2 <= r_sq:
+                graph.add_edge(i, j)
+    return graph
+
+
+def complete_bipartite(a: int, b: int) -> nx.Graph:
+    """K_{a,b}; its square is the complete graph K_{a+b}."""
+    return ensure_int_labels(nx.complete_bipartite_graph(a, b))
+
+
+def grid(rows: int, cols: int, torus: bool = False) -> nx.Graph:
+    """2D grid (or torus) — a bounded-degree planar-ish workload."""
+    graph = nx.grid_2d_graph(rows, cols, periodic=torus)
+    return ensure_int_labels(graph)
+
+
+def caterpillar(spine: int, legs: int) -> nx.Graph:
+    """Path of ``spine`` nodes, each with ``legs`` pendant leaves."""
+    graph = nx.Graph()
+    for i in range(spine):
+        graph.add_node(i)
+        if i > 0:
+            graph.add_edge(i - 1, i)
+    next_id = spine
+    for i in range(spine):
+        for _ in range(legs):
+            graph.add_node(next_id)
+            graph.add_edge(i, next_id)
+            next_id += 1
+    return graph
+
+
+def double_star(leaves_per_center: int) -> nx.Graph:
+    """The paper's Ω(Δ) verification lower-bound instance (Sec. 1):
+    an edge {a, b} with ``leaves_per_center`` leaves attached to both
+    endpoints.  Node 0 is a, node 1 is b."""
+    graph = nx.Graph()
+    graph.add_edge(0, 1)
+    next_id = 2
+    for center in (0, 1):
+        for _ in range(leaves_per_center):
+            graph.add_node(next_id)
+            graph.add_edge(center, next_id)
+            next_id += 1
+    return graph
+
+
+def clique_clusters(
+    num_cliques: int,
+    clique_size: int,
+    seed: int = 0,
+    bridges: int = 1,
+) -> nx.Graph:
+    """Ring of cliques joined by ``bridges`` random inter-clique edges.
+
+    Dense neighborhoods with low sparsity — the regime where the
+    paper's Reduce machinery (colored helpers) matters.
+    """
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    members = []
+    next_id = 0
+    for _ in range(num_cliques):
+        nodes = list(range(next_id, next_id + clique_size))
+        next_id += clique_size
+        members.append(nodes)
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                graph.add_edge(u, v)
+    for index in range(num_cliques):
+        nxt = (index + 1) % num_cliques
+        if nxt == index:
+            continue
+        for _ in range(bridges):
+            u = rng.choice(members[index])
+            v = rng.choice(members[nxt])
+            if u != v:
+                graph.add_edge(u, v)
+    return graph
+
+
+def star_of_stars(branch: int, leaves: int) -> nx.Graph:
+    """A root with ``branch`` children, each with ``leaves`` leaves.
+
+    d2-degree of the root is branch*(leaves+1); a tree workload with
+    highly non-uniform d2-degrees.
+    """
+    graph = nx.Graph()
+    graph.add_node(0)
+    next_id = 1
+    for _ in range(branch):
+        child = next_id
+        next_id += 1
+        graph.add_edge(0, child)
+        for _ in range(leaves):
+            graph.add_edge(child, next_id)
+            next_id += 1
+    return graph
+
+
+def random_bipartite_tasks(
+    tasks: int,
+    resources: int,
+    per_task: int,
+    seed: int = 0,
+) -> nx.Graph:
+    """Task/resource bipartite graph for the strong-coloring example.
+
+    Task nodes 0..tasks-1 each use ``per_task`` random resources
+    (nodes tasks..tasks+resources-1).  Strong coloring of the induced
+    hypergraph = d2-coloring restricted to the task side (Sec. 1,
+    "Why d2-coloring?").
+    """
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(tasks + resources))
+    for task in range(tasks):
+        chosen = rng.sample(range(resources), min(per_task, resources))
+        for res in chosen:
+            graph.add_edge(task, tasks + res)
+    return graph
+
+
+def connected_gnp(n: int, p: float, seed: int = 0, tries: int = 50) -> nx.Graph:
+    """G(n, p) conditioned on connectivity (re-sample up to ``tries``)."""
+    for attempt in range(tries):
+        graph = gnp(n, p, seed=seed + attempt)
+        if nx.is_connected(graph):
+            return graph
+    # Fall back: connect components with a path of bridges.
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    for first, second in zip(components, components[1:]):
+        graph.add_edge(first[0], second[0])
+    return graph
+
+
+def with_max_degree(graph: nx.Graph, delta: int, seed: int = 0) -> nx.Graph:
+    """Drop random edges until max degree <= ``delta`` (workload trim)."""
+    rng = random.Random(seed)
+    graph = graph.copy()
+    heavy = [v for v, d in graph.degree if d > delta]
+    while heavy:
+        node = heavy.pop()
+        while graph.degree[node] > delta:
+            nbr = rng.choice(list(graph.neighbors(node)))
+            graph.remove_edge(node, nbr)
+        heavy = [v for v, d in graph.degree if d > delta]
+    return graph

@@ -1,0 +1,12 @@
+"""Experiment harness: sweeps, tables and scaling-shape checks.
+
+Each experiment in DESIGN.md §2 is a function in
+:mod:`repro.harness.experiments` returning an
+:class:`~repro.harness.report.ExperimentTable`; the benches in
+``benchmarks/`` print these tables next to the paper's claim and
+assert the hard invariants (validity, palette bounds).
+"""
+
+from repro.harness.report import ExperimentTable
+
+__all__ = ["ExperimentTable"]

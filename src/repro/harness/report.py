@@ -1,0 +1,59 @@
+"""Experiment result tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.util.fitting import Fit
+from repro.util.tables import ascii_table
+
+
+@dataclass
+class ExperimentTable:
+    """One experiment's measurements, ready to print."""
+
+    exp_id: str
+    title: str
+    claim: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    fits: List[Fit] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    checks: Dict[str, bool] = field(default_factory=dict)
+
+    def add_row(self, *cells: Any) -> None:
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def add_check(self, name: str, passed: bool) -> None:
+        self.checks[name] = passed
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def best_fit(self) -> Optional[Fit]:
+        return self.fits[0] if self.fits else None
+
+    def render(self) -> str:
+        lines = [
+            f"== {self.exp_id}: {self.title} ==",
+            f"paper claim: {self.claim}",
+            ascii_table(self.headers, self.rows),
+        ]
+        if self.fits:
+            lines.append("model fits (best first):")
+            for fit in self.fits:
+                lines.append(
+                    f"  rounds ~ {fit.slope:.3g}*{fit.name} + "
+                    f"{fit.intercept:.3g}   R^2 = {fit.r_squared:.4f}"
+                )
+        for name, passed in self.checks.items():
+            status = "PASS" if passed else "FAIL"
+            lines.append(f"check [{status}] {name}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Common result types returned by the coloring algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.congest.metrics import RunMetrics
+
+
+@dataclass
+class PhaseResult:
+    """One phase of a multi-phase algorithm (e.g. "Linial")."""
+
+    name: str
+    rounds: int
+    metrics: Optional[RunMetrics] = None
+
+
+@dataclass
+class ColoringResult:
+    """A coloring plus the cost of computing it.
+
+    ``palette_size`` is the number of colors the algorithm was allowed
+    (e.g. Δ²+1); ``colors_used`` is how many distinct colors actually
+    appear.  ``rounds`` is the total number of CONGEST rounds across
+    all phases.
+    """
+
+    algorithm: str
+    coloring: Dict[int, int]
+    palette_size: int
+    rounds: int
+    metrics: RunMetrics = field(default_factory=RunMetrics)
+    phases: List[PhaseResult] = field(default_factory=list)
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def colors_used(self) -> int:
+        return len(set(self.coloring.values()))
+
+    @property
+    def complete(self) -> bool:
+        """True when every node has a (non-None) color."""
+        return all(c is not None for c in self.coloring.values())
+
+    def phase_rounds(self) -> Dict[str, int]:
+        return {phase.name: phase.rounds for phase in self.phases}
+
+    def add_phase(
+        self, name: str, rounds: int, metrics: Optional[RunMetrics] = None
+    ) -> None:
+        self.phases.append(PhaseResult(name, rounds, metrics))
+        self.rounds += rounds
+        if metrics is not None:
+            self.metrics = self.metrics.merge(metrics)
+
+    def summary(self) -> str:
+        return (
+            f"{self.algorithm}: {self.colors_used} colors "
+            f"(palette {self.palette_size}), {self.rounds} rounds, "
+            f"{self.metrics.total_messages} messages"
+        )

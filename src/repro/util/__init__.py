@@ -1,0 +1,16 @@
+"""Math utilities: primes, finite fields, k-wise hashing, fitting."""
+
+from repro.util.primes import bertrand_prime, is_prime, next_prime_at_least
+from repro.util.fq import Poly1, degree_le_polynomials
+from repro.util.gf2 import GF2Field
+from repro.util.kwise import KWiseCoins
+
+__all__ = [
+    "GF2Field",
+    "KWiseCoins",
+    "Poly1",
+    "bertrand_prime",
+    "degree_le_polynomials",
+    "is_prime",
+    "next_prime_at_least",
+]

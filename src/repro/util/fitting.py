@@ -1,0 +1,86 @@
+"""Scaling-shape checks: fit measured rounds against candidate forms.
+
+The paper's claims are asymptotic (O(log Δ log n), O(Δ² + log* n),
+polylog n).  A reproduction cannot verify constants, but it *can*
+check which functional form explains the measurements best.  We fit
+``rounds ≈ a·f(x) + b`` by least squares for each candidate ``f`` and
+compare residuals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Fit:
+    """One least-squares fit rounds ≈ slope·feature + intercept."""
+
+    name: str
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, feature_value: float) -> float:
+        return self.slope * feature_value + self.intercept
+
+
+def fit_linear(
+    features: Sequence[float], values: Sequence[float], name: str
+) -> Fit:
+    """Least-squares fit of ``values`` against a single feature."""
+    x = np.asarray(features, dtype=float)
+    y = np.asarray(values, dtype=float)
+    design = np.column_stack([x, np.ones_like(x)])
+    coeffs, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
+    slope, intercept = float(coeffs[0]), float(coeffs[1])
+    predictions = slope * x + intercept
+    ss_res = float(np.sum((y - predictions) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return Fit(name, slope, intercept, r_squared)
+
+
+def compare_models(
+    xs: Sequence[Tuple[float, ...]],
+    rounds: Sequence[float],
+    models: Dict[str, Callable[..., float]],
+) -> List[Fit]:
+    """Fit every model and return fits sorted best-first.
+
+    ``xs`` holds the raw sweep parameters (e.g. (n, delta) tuples);
+    each model maps them to the candidate feature, e.g.
+    ``lambda n, d: math.log(n) * math.log(d)``.
+    """
+    fits = []
+    for name, model in models.items():
+        features = [model(*x) for x in xs]
+        fits.append(fit_linear(features, rounds, name))
+    fits.sort(key=lambda fit: fit.r_squared, reverse=True)
+    return fits
+
+
+def log_star(n: float) -> int:
+    """Iterated logarithm (base 2): log* n."""
+    count = 0
+    value = float(n)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+STANDARD_MODELS: Dict[str, Callable[[float, float], float]] = {
+    "log(n)*log(delta)": lambda n, d: math.log(n) * math.log(max(d, 2)),
+    "log(n)": lambda n, d: math.log(n),
+    "log^2(n)": lambda n, d: math.log(n) ** 2,
+    "log^3(n)": lambda n, d: math.log(n) ** 3,
+    "delta^2": lambda n, d: d * d,
+    "delta": lambda n, d: d,
+    "n": lambda n, d: n,
+    "sqrt(n)": lambda n, d: math.sqrt(n),
+}

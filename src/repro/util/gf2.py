@@ -1,0 +1,100 @@
+"""GF(2^a) arithmetic for k-wise independent fair coins (Thm A.6).
+
+Elements are ints in [0, 2^a) interpreted as polynomials over GF(2);
+multiplication is carry-less multiplication reduced modulo a fixed
+irreducible polynomial of degree a.  A uniformly random element has
+uniformly random bits, so taking one bit of a k-wise independent
+field element yields a k-wise independent fair coin — exactly what
+the derandomized splitting (Appendix A) needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# Irreducible polynomials over GF(2), degree -> polynomial with the
+# leading term included (bit a set).  Standard table entries.
+_IRREDUCIBLE: Dict[int, int] = {
+    1: 0b11,                  # x + 1
+    2: 0b111,                 # x^2 + x + 1
+    3: 0b1011,                # x^3 + x + 1
+    4: 0b10011,               # x^4 + x + 1
+    5: 0b100101,              # x^5 + x^2 + 1
+    6: 0b1000011,             # x^6 + x + 1
+    7: 0b10000011,            # x^7 + x + 1
+    8: 0b100011011,           # x^8 + x^4 + x^3 + x + 1 (AES)
+    9: 0b1000010001,          # x^9 + x^4 + 1
+    10: 0b10000001001,        # x^10 + x^3 + 1
+    11: 0b100000000101,       # x^11 + x^2 + 1
+    12: 0b1000001010011,      # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,     # x^13 + x^4 + x^3 + x + 1
+    14: 0b100000101000011,    # x^14 + x^8 + x^6 + x + 1
+    15: 0b1000000000000011,   # x^15 + x + 1
+    16: 0b10001000000001011,  # x^16 + x^12 + x^3 + x + 1
+    17: 0b100000000000001001,  # x^17 + x^3 + 1
+    18: 0b1000000000010000001,  # x^18 + x^7 + 1
+    19: 0b10000000000000100111,  # x^19 + x^5 + x^2 + x + 1
+    20: 0b100000000000000001001,  # x^20 + x^3 + 1
+}
+
+
+class GF2Field:
+    """The finite field GF(2^a)."""
+
+    def __init__(self, a: int):
+        if a not in _IRREDUCIBLE:
+            raise ValueError(
+                f"GF(2^{a}) not supported; a must be in "
+                f"[1, {max(_IRREDUCIBLE)}]"
+            )
+        self.a = a
+        self.order = 1 << a
+        self.modulus = _IRREDUCIBLE[a]
+
+    def add(self, x: int, y: int) -> int:
+        """Addition = XOR."""
+        return x ^ y
+
+    def mul(self, x: int, y: int) -> int:
+        """Carry-less multiplication reduced mod the irreducible."""
+        self._check(x)
+        self._check(y)
+        product = 0
+        while y:
+            if y & 1:
+                product ^= x
+            y >>= 1
+            x <<= 1
+            if x & self.order:
+                x ^= self.modulus
+        return product
+
+    def pow(self, x: int, e: int) -> int:
+        self._check(x)
+        result = 1
+        base = x
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    def inv(self, x: int) -> int:
+        """Multiplicative inverse via x^(2^a - 2)."""
+        if x == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^a)")
+        return self.pow(x, self.order - 2)
+
+    def poly_eval(self, coeffs, x: int) -> int:
+        """Evaluate a polynomial (coefficients low to high) at x."""
+        acc = 0
+        power = 1
+        for c in coeffs:
+            acc ^= self.mul(c, power)
+            power = self.mul(power, x)
+        return acc
+
+    def _check(self, x: int) -> None:
+        if x < 0 or x >= self.order:
+            raise ValueError(f"{x} not an element of GF(2^{self.a})")

@@ -1,0 +1,74 @@
+"""k-wise independent hash families (Definition A.3, Theorem A.6).
+
+A uniformly random polynomial of degree < k over GF(2^a), evaluated at
+distinct points, yields k-wise independent uniform field elements; one
+fixed output bit is then a k-wise independent fair coin.  A family
+member is described by k·a random bits — the "short seed" that the
+derandomized splitting algorithm fixes bit by bit (Appendix A).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.util.gf2 import GF2Field
+
+
+class KWiseCoins:
+    """k-wise independent fair coins for inputs in [0, 2^a).
+
+    ``seed_bits`` is the raw seed: a list of k·a bits, interpreted as
+    the k coefficients (a bits each, low to high) of a polynomial over
+    GF(2^a).  ``coin(x)`` is the lowest bit of the evaluation at the
+    field element derived from ``x``.
+    """
+
+    def __init__(self, k: int, a: int, seed_bits: Sequence[int]):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.field = GF2Field(a)
+        self.k = k
+        self.a = a
+        expected = k * a
+        if len(seed_bits) != expected:
+            raise ValueError(
+                f"need {expected} seed bits for k={k}, a={a}; "
+                f"got {len(seed_bits)}"
+            )
+        if any(bit not in (0, 1) for bit in seed_bits):
+            raise ValueError("seed bits must be 0/1")
+        self.seed_bits = list(seed_bits)
+        self.coeffs = [
+            self._bits_to_element(seed_bits[i * a : (i + 1) * a])
+            for i in range(k)
+        ]
+
+    @staticmethod
+    def _bits_to_element(bits: Sequence[int]) -> int:
+        value = 0
+        for index, bit in enumerate(bits):
+            value |= bit << index
+        return value
+
+    @staticmethod
+    def seed_length(k: int, a: int) -> int:
+        return k * a
+
+    @staticmethod
+    def random_seed(k: int, a: int, rng: random.Random) -> List[int]:
+        return [rng.randrange(2) for _ in range(k * a)]
+
+    def element(self, x: int) -> int:
+        """The k-wise independent field element at input ``x``."""
+        point = x % self.field.order
+        return self.field.poly_eval(self.coeffs, point)
+
+    def coin(self, x: int) -> int:
+        """A k-wise independent fair coin for input ``x``.
+
+        Inputs must be distinct modulo 2^a for independence to hold;
+        callers map node IDs into [0, 2^a) injectively by choosing
+        a >= ceil(log2 n).
+        """
+        return self.element(x) & 1

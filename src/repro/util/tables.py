@@ -1,0 +1,40 @@
+"""Plain-text tables for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e9:
+            return str(int(value))
+        return f"{value:.3g}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Render rows as a boxed, aligned plain-text table."""
+    text_rows: List[List[str]] = [
+        [format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        padded = [
+            cell.rjust(widths[index])
+            for index, cell in enumerate(cells)
+        ]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = [separator, line(list(headers)), separator]
+    for row in text_rows:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)

@@ -1,0 +1,18 @@
+"""Independent validity checking and bandwidth auditing."""
+
+from repro.verify.checker import (
+    CheckReport,
+    check_coloring,
+    check_d2_coloring,
+    check_distance_k_coloring,
+)
+from repro.verify.audit import BandwidthReport, audit_bandwidth
+
+__all__ = [
+    "BandwidthReport",
+    "CheckReport",
+    "audit_bandwidth",
+    "check_coloring",
+    "check_d2_coloring",
+    "check_distance_k_coloring",
+]

@@ -1,0 +1,60 @@
+"""Bandwidth audit: is an algorithm's traffic CONGEST-compliant?
+
+Experiment E15 runs every algorithm with a TRACK policy and inspects
+the resulting metrics through this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.congest.metrics import RunMetrics
+
+
+@dataclass
+class BandwidthReport:
+    algorithm: str
+    budget_bits: int
+    max_message_bits: int
+    violations: int
+    total_messages: int
+
+    @property
+    def compliant(self) -> bool:
+        return self.violations == 0
+
+    @property
+    def headroom(self) -> float:
+        """Fraction of the budget used by the largest message."""
+        if self.budget_bits == 0:
+            return float("inf")
+        return self.max_message_bits / self.budget_bits
+
+    def row(self) -> tuple:
+        return (
+            self.algorithm,
+            self.budget_bits,
+            self.max_message_bits,
+            f"{self.headroom:.2f}",
+            self.violations,
+            "yes" if self.compliant else "NO",
+        )
+
+
+def audit_bandwidth(algorithm: str, metrics: RunMetrics) -> BandwidthReport:
+    """Summarize one run's bandwidth behaviour."""
+    return BandwidthReport(
+        algorithm=algorithm,
+        budget_bits=metrics.budget_bits,
+        max_message_bits=metrics.max_message_bits,
+        violations=metrics.violations,
+        total_messages=metrics.total_messages,
+    )
+
+
+def audit_many(
+    reports: Iterable[BandwidthReport],
+) -> List[tuple]:
+    """Table rows for a suite of audits (see util.tables)."""
+    return [report.row() for report in reports]

@@ -1,0 +1,129 @@
+"""Independent d2-coloring validity checker.
+
+Deliberately does **not** reuse :mod:`repro.graphs.square`: distance-2
+adjacency is recomputed here with a plain per-node BFS so that a bug in
+the shared square-graph code cannot mask itself in the tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+
+@dataclass
+class CheckReport:
+    """Outcome of a coloring check."""
+
+    valid: bool
+    conflicts: List[Tuple[int, int]] = field(default_factory=list)
+    uncolored: List[int] = field(default_factory=list)
+    out_of_palette: List[int] = field(default_factory=list)
+    colors_used: int = 0
+    palette_size: Optional[int] = None
+
+    def explain(self) -> str:
+        if self.valid:
+            return (
+                f"valid: {self.colors_used} colors"
+                + (
+                    f" (palette {self.palette_size})"
+                    if self.palette_size is not None
+                    else ""
+                )
+            )
+        parts = []
+        if self.uncolored:
+            parts.append(f"{len(self.uncolored)} uncolored node(s)")
+        if self.conflicts:
+            parts.append(
+                f"{len(self.conflicts)} conflicting pair(s), e.g. "
+                f"{self.conflicts[:3]}"
+            )
+        if self.out_of_palette:
+            parts.append(
+                f"{len(self.out_of_palette)} node(s) colored outside "
+                "the palette"
+            )
+        return "invalid: " + "; ".join(parts)
+
+
+def _nodes_within(graph: nx.Graph, source, k: int) -> List:
+    """Nodes at distance 1..k from ``source`` via BFS."""
+    seen = {source: 0}
+    queue = deque([source])
+    out = []
+    while queue:
+        node = queue.popleft()
+        depth = seen[node]
+        if depth == k:
+            continue
+        for nbr in graph.neighbors(node):
+            if nbr not in seen:
+                seen[nbr] = depth + 1
+                out.append(nbr)
+                queue.append(nbr)
+    return out
+
+
+def check_distance_k_coloring(
+    graph: nx.Graph,
+    coloring: Dict[int, Optional[int]],
+    k: int,
+    palette_size: Optional[int] = None,
+) -> CheckReport:
+    """Check that nodes within distance ``k`` have distinct colors."""
+    uncolored = [
+        v for v in graph.nodes if coloring.get(v) is None
+    ]
+    out_of_palette = []
+    if palette_size is not None:
+        out_of_palette = [
+            v
+            for v in graph.nodes
+            if coloring.get(v) is not None
+            and not 0 <= coloring[v] < palette_size
+        ]
+    conflicts: List[Tuple[int, int]] = []
+    for v in graph.nodes:
+        cv = coloring.get(v)
+        if cv is None:
+            continue
+        for u in _nodes_within(graph, v, k):
+            if u <= v:
+                continue
+            if coloring.get(u) == cv:
+                conflicts.append((v, u))
+    colors_used = len(
+        {c for c in coloring.values() if c is not None}
+    )
+    valid = not (uncolored or conflicts or out_of_palette)
+    return CheckReport(
+        valid=valid,
+        conflicts=conflicts,
+        uncolored=uncolored,
+        out_of_palette=out_of_palette,
+        colors_used=colors_used,
+        palette_size=palette_size,
+    )
+
+
+def check_d2_coloring(
+    graph: nx.Graph,
+    coloring: Dict[int, Optional[int]],
+    palette_size: Optional[int] = None,
+) -> CheckReport:
+    """Check a distance-2 coloring (the paper's main object)."""
+    return check_distance_k_coloring(graph, coloring, 2, palette_size)
+
+
+def check_coloring(
+    graph: nx.Graph,
+    coloring: Dict[int, Optional[int]],
+    palette_size: Optional[int] = None,
+) -> CheckReport:
+    """Check an ordinary (distance-1) vertex coloring."""
+    return check_distance_k_coloring(graph, coloring, 1, palette_size)

@@ -1,0 +1,52 @@
+"""Shared fixtures: the instance suite used across the test files."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    caterpillar,
+    clique_clusters,
+    double_star,
+    gnp,
+    grid,
+    random_regular,
+    unit_disk,
+)
+from repro.graphs.instances import (
+    cycle5,
+    petersen,
+    projective_plane_incidence,
+)
+
+
+def small_suite():
+    """Name -> graph; small instances exercised by most algorithms."""
+    return {
+        "path8": nx.path_graph(8),
+        "cycle5": cycle5(),
+        "petersen": petersen(),
+        "grid4x4": grid(4, 4),
+        "rr4_20": random_regular(4, 20, seed=1),
+        "gnp30": gnp(30, 0.15, seed=2),
+        "double_star6": double_star(6),
+        "caterpillar": caterpillar(5, 3),
+        "cliques3x5": clique_clusters(3, 5, seed=3),
+        "udg": unit_disk(30, 0.3, seed=4),
+        "pg2_3": projective_plane_incidence(3),
+    }
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return small_suite()
+
+
+def suite_params():
+    return sorted(small_suite())
+
+
+@pytest.fixture(params=suite_params())
+def suite_graph(request, suite):
+    return request.param, suite[request.param]

@@ -1,0 +1,154 @@
+"""Tests for the baseline algorithms (greedy, trial, naive, Luby)."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines.greedy import dsatur_d2_coloring, greedy_d2_coloring
+from repro.baselines.luby import (
+    check_distance_k_mis,
+    luby_distance_k_mis,
+)
+from repro.baselines.naive import naive_congest_d2_color
+from repro.baselines.trial import trial_d2_color
+from repro.congest.policy import BandwidthPolicy
+from repro.graphs.generators import random_regular
+from repro.graphs.instances import petersen
+from repro.verify.checker import check_d2_coloring
+
+
+class TestGreedy:
+    def test_valid_on_suite(self, suite_graph):
+        name, graph = suite_graph
+        result = greedy_d2_coloring(graph)
+        report = check_d2_coloring(
+            graph, result.coloring, result.palette_size
+        )
+        assert report.valid, f"{name}: {report.explain()}"
+
+    def test_respects_palette_bound(self, suite_graph):
+        _name, graph = suite_graph
+        result = greedy_d2_coloring(graph)
+        delta = max((d for _, d in graph.degree), default=0)
+        assert result.colors_used <= delta * delta + 1
+
+    def test_custom_order(self):
+        graph = nx.path_graph(4)
+        result = greedy_d2_coloring(graph, order=[3, 2, 1, 0])
+        assert result.coloring[3] == 0
+
+    def test_dsatur_valid_on_suite(self, suite_graph):
+        name, graph = suite_graph
+        result = dsatur_d2_coloring(graph)
+        report = check_d2_coloring(
+            graph, result.coloring, result.palette_size
+        )
+        assert report.valid, f"{name}: {report.explain()}"
+
+    def test_moore_graph_needs_full_palette(self):
+        graph = petersen()
+        assert greedy_d2_coloring(graph).colors_used == 10
+        assert dsatur_d2_coloring(graph).colors_used == 10
+
+    def test_zero_rounds(self):
+        assert greedy_d2_coloring(nx.path_graph(3)).rounds == 0
+
+
+class TestTrial:
+    def test_valid_and_complete_on_suite(self, suite_graph):
+        name, graph = suite_graph
+        result = trial_d2_color(graph, seed=5)
+        assert result.complete, name
+        report = check_d2_coloring(
+            graph, result.coloring, result.palette_size
+        )
+        assert report.valid, f"{name}: {report.explain()}"
+
+    def test_larger_palette_fewer_rounds(self):
+        graph = random_regular(4, 40, seed=6)
+        tight = trial_d2_color(graph, seed=1, eps=0.0)
+        loose = trial_d2_color(graph, seed=1, eps=1.0)
+        assert loose.rounds <= tight.rounds
+
+    def test_deterministic_given_seed(self):
+        graph = random_regular(4, 20, seed=3)
+        a = trial_d2_color(graph, seed=9)
+        b = trial_d2_color(graph, seed=9)
+        assert a.coloring == b.coloring
+        assert a.rounds == b.rounds
+
+    def test_avoid_known_variant_valid(self):
+        graph = random_regular(4, 20, seed=3)
+        result = trial_d2_color(graph, seed=2, avoid_known=True)
+        assert check_d2_coloring(
+            graph, result.coloring, result.palette_size
+        ).valid
+
+    def test_isolated_nodes(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(3))
+        result = trial_d2_color(graph, seed=1)
+        assert result.complete
+
+
+class TestNaive:
+    def test_valid_on_suite(self, suite_graph):
+        name, graph = suite_graph
+        result = naive_congest_d2_color(graph, seed=4)
+        assert result.complete, name
+        report = check_d2_coloring(
+            graph, result.coloring, result.palette_size
+        )
+        assert report.valid, f"{name}: {report.explain()}"
+
+    def test_relay_rounds_scale_with_delta_under_tight_budget(self):
+        policy = BandwidthPolicy.track(beta=2, min_bits=24)
+        small = naive_congest_d2_color(
+            random_regular(4, 30, seed=1), seed=1, policy=policy
+        )
+        large = naive_congest_d2_color(
+            random_regular(12, 30, seed=1), seed=1, policy=policy
+        )
+        assert (
+            large.params["relay_rounds_per_phase"]
+            > small.params["relay_rounds_per_phase"]
+        )
+
+    def test_deterministic_given_seed(self):
+        graph = random_regular(4, 20, seed=2)
+        a = naive_congest_d2_color(graph, seed=8)
+        b = naive_congest_d2_color(graph, seed=8)
+        assert a.coloring == b.coloring
+
+
+class TestLuby:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_distance_k_mis_valid(self, k):
+        graph = random_regular(4, 30, seed=7)
+        mis, rounds, _metrics = luby_distance_k_mis(
+            graph, k=k, seed=3
+        )
+        assert mis
+        assert check_distance_k_mis(graph, mis, k)
+        assert rounds > 0
+
+    def test_rounds_grow_with_k(self):
+        graph = random_regular(4, 60, seed=8)
+        _, rounds1, _ = luby_distance_k_mis(graph, k=1, seed=3)
+        _, rounds3, _ = luby_distance_k_mis(graph, k=3, seed=3)
+        assert rounds3 > rounds1
+
+    def test_deterministic(self):
+        graph = random_regular(4, 30, seed=9)
+        a, _, _ = luby_distance_k_mis(graph, k=2, seed=5)
+        b, _, _ = luby_distance_k_mis(graph, k=2, seed=5)
+        assert a == b
+
+    def test_checker_rejects_bad_mis(self):
+        graph = nx.path_graph(4)
+        assert not check_distance_k_mis(graph, {0, 1}, 2)
+        assert not check_distance_k_mis(graph, set(), 2)
+
+    def test_path_mis(self):
+        graph = nx.path_graph(7)
+        mis, _, _ = luby_distance_k_mis(graph, k=2, seed=1)
+        assert check_distance_k_mis(graph, mis, 2)

@@ -1,0 +1,95 @@
+"""Unit tests for message payload sizing and multiplexing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.congest.message import (
+    Broadcast,
+    bit_size,
+    int_bits,
+    merged,
+    total_bits,
+)
+
+
+class TestIntBits:
+    def test_zero_costs_one_bit(self):
+        assert int_bits(0) == 1
+
+    def test_one_costs_one_bit(self):
+        assert int_bits(1) == 1
+
+    def test_powers_of_two(self):
+        assert int_bits(2) == 2
+        assert int_bits(255) == 8
+        assert int_bits(256) == 9
+
+    def test_negative_adds_sign_bit(self):
+        assert int_bits(-1) == int_bits(1) + 1
+
+    @given(st.integers(min_value=0, max_value=2**64))
+    def test_monotone_in_magnitude(self, value):
+        assert int_bits(value + 1) >= int_bits(value)
+
+
+class TestBitSize:
+    def test_none_is_one_bit(self):
+        assert bit_size(None) == 1
+
+    def test_bool_is_one_bit(self):
+        assert bit_size(True) == 1
+        assert bit_size(False) == 1
+
+    def test_int_matches_int_bits(self):
+        assert bit_size(1000) == int_bits(1000)
+
+    def test_string_charged_per_char(self):
+        assert bit_size("ab") == 12
+
+    def test_empty_string_nonzero(self):
+        assert bit_size("") >= 1
+
+    def test_tuple_sums_elements_plus_overhead(self):
+        flat = bit_size((1, 2, 3))
+        assert flat > bit_size(1) + bit_size(2) + bit_size(3)
+
+    def test_nested_tuples(self):
+        assert bit_size(((1, 2), 3)) > bit_size((1, 2))
+
+    def test_rejects_unsupported_types(self):
+        with pytest.raises(TypeError):
+            bit_size(3.14)
+
+    def test_rejects_dict_payload(self):
+        with pytest.raises(TypeError):
+            bit_size({"a": 1})
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**32), max_size=20
+        )
+    )
+    def test_longer_tuples_cost_more(self, values):
+        shorter = bit_size(tuple(values))
+        longer = bit_size(tuple(values) + (0,))
+        assert longer > shorter
+
+    def test_log_scale_for_ids(self):
+        # An ID in [0, n) costs O(log n) bits: the CONGEST premise.
+        assert bit_size(2**20 - 1) == 20
+
+
+class TestBroadcastAndMerge:
+    def test_broadcast_wraps_payload(self):
+        b = Broadcast(("x", 1))
+        assert b.payload == ("x", 1)
+
+    def test_merged_packs_tuple(self):
+        assert merged(("a", 1), ("b", 2)) == (("a", 1), ("b", 2))
+
+    def test_total_bits_sums(self):
+        payloads = [(1, 2), (3,)]
+        assert total_bits(payloads) == sum(
+            bit_size(p) for p in payloads
+        )

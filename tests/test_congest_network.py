@@ -1,0 +1,318 @@
+"""Tests of the synchronous executor: delivery, halting, metering."""
+
+import networkx as nx
+import pytest
+
+from repro.congest.errors import (
+    BandwidthExceededError,
+    NonterminationError,
+    ProtocolViolationError,
+)
+from repro.congest.network import Network, log2_ceil, run_protocol
+from repro.congest.node import FunctionProgram, NodeProgram
+from repro.congest.policy import BandwidthPolicy
+
+
+def proto_factory(fn):
+    return FunctionProgram.factory(fn)
+
+
+class TestDelivery:
+    def test_one_round_neighbor_exchange(self):
+        def proto(ctx):
+            inbox = yield {
+                v: ("id", ctx.node) for v in ctx.neighbors
+            }
+            return sorted(payload[1] for payload in inbox.values())
+
+        result = run_protocol(nx.path_graph(4), proto_factory(proto))
+        assert result.outputs == {
+            0: [1],
+            1: [0, 2],
+            2: [1, 3],
+            3: [2],
+        }
+
+    def test_broadcast_reaches_all_neighbors(self):
+        def proto(ctx):
+            from repro.congest.message import Broadcast
+
+            inbox = yield Broadcast(("hi", ctx.node))
+            return len(inbox)
+
+        result = run_protocol(
+            nx.star_graph(5), proto_factory(proto)
+        )
+        assert result.outputs[0] == 5
+        assert all(result.outputs[v] == 1 for v in range(1, 6))
+
+    def test_messages_delivered_next_round_not_same(self):
+        def proto(ctx):
+            first = yield {v: ("a",) for v in ctx.neighbors}
+            second = yield {}
+            return (len(first), len(second))
+
+        result = run_protocol(nx.path_graph(2), proto_factory(proto))
+        # round-1 traffic arrives with the first resume; nothing later
+        assert result.outputs[0] == (1, 0)
+
+    def test_empty_outbox_allowed(self):
+        def proto(ctx):
+            yield {}
+            return "done"
+
+        result = run_protocol(nx.path_graph(3), proto_factory(proto))
+        assert set(result.outputs.values()) == {"done"}
+
+    def test_sending_to_non_neighbor_rejected(self):
+        def proto(ctx):
+            yield {ctx.node + 2: ("bad",)} if ctx.node == 0 else {}
+            return None
+
+        with pytest.raises(ProtocolViolationError):
+            run_protocol(nx.path_graph(4), proto_factory(proto))
+
+    def test_non_dict_outbox_rejected(self):
+        def proto(ctx):
+            yield ["not", "a", "dict"]
+
+        with pytest.raises(ProtocolViolationError):
+            run_protocol(nx.path_graph(2), proto_factory(proto))
+
+
+class TestRoundsAccounting:
+    def test_zero_round_protocol(self):
+        def proto(ctx):
+            return ctx.node
+            yield  # pragma: no cover
+
+        result = run_protocol(nx.path_graph(3), proto_factory(proto))
+        assert result.metrics.rounds == 0
+
+    def test_trailing_local_computation_not_charged(self):
+        def proto(ctx):
+            yield {v: ("m",) for v in ctx.neighbors}
+            return "out"
+
+        result = run_protocol(nx.path_graph(3), proto_factory(proto))
+        assert result.metrics.rounds == 1
+
+    def test_silent_round_with_running_nodes_counts(self):
+        def proto(ctx):
+            yield {}
+            yield {}
+            return None
+
+        result = run_protocol(nx.path_graph(2), proto_factory(proto))
+        assert result.metrics.rounds == 2
+
+    def test_staggered_halting(self):
+        def proto(ctx):
+            rounds = ctx.node + 1
+            for _ in range(rounds):
+                yield {v: ("x",) for v in ctx.neighbors}
+            return rounds
+
+        result = run_protocol(nx.path_graph(3), proto_factory(proto))
+        assert result.outputs == {0: 1, 1: 2, 2: 3}
+        assert result.metrics.rounds == 3
+
+
+class TestTermination:
+    def test_max_rounds_raises_by_default(self):
+        def proto(ctx):
+            while True:
+                yield {}
+
+        with pytest.raises(NonterminationError):
+            run_protocol(
+                nx.path_graph(2),
+                proto_factory(proto),
+                max_rounds=5,
+            )
+
+    def test_max_rounds_soft_stop(self):
+        def proto(ctx):
+            while True:
+                yield {}
+
+        net = Network(nx.path_graph(2), proto_factory(proto))
+        result = net.run(max_rounds=5, raise_on_timeout=False)
+        assert not result.halted
+        assert result.metrics.rounds == 5
+
+    def test_stop_when_monitor(self):
+        def proto(ctx):
+            count = 0
+            while True:
+                yield {}
+                count += 1
+                ctx.data["count"] = count
+
+        def monitor(network, round_index):
+            return round_index >= 3
+
+        net = Network(nx.path_graph(2), proto_factory(proto))
+        result = net.run(stop_when=monitor, raise_on_timeout=False)
+        assert result.stopped_early
+
+
+class TestMetering:
+    def test_message_and_bit_totals(self):
+        def proto(ctx):
+            yield {v: ("m", 3) for v in ctx.neighbors}
+            return None
+
+        result = run_protocol(nx.path_graph(3), proto_factory(proto))
+        assert result.metrics.total_messages == 4  # 2 edges, 2 dirs
+        assert result.metrics.total_bits > 0
+        assert result.metrics.max_message_bits > 0
+
+    def test_strict_policy_raises_on_oversize(self):
+        def proto(ctx):
+            big = tuple(range(1000))
+            yield {v: big for v in ctx.neighbors}
+            return None
+
+        with pytest.raises(BandwidthExceededError):
+            run_protocol(
+                nx.path_graph(2),
+                proto_factory(proto),
+                policy=BandwidthPolicy.strict(),
+            )
+
+    def test_track_policy_counts_violations(self):
+        def proto(ctx):
+            big = tuple(range(1000))
+            yield {v: big for v in ctx.neighbors}
+            return None
+
+        result = run_protocol(
+            nx.path_graph(2),
+            proto_factory(proto),
+            policy=BandwidthPolicy.track(),
+        )
+        assert result.metrics.violations == 2
+        assert not result.metrics.compliant
+
+    def test_unbounded_policy_never_flags(self):
+        def proto(ctx):
+            big = tuple(range(1000))
+            yield {v: big for v in ctx.neighbors}
+            return None
+
+        result = run_protocol(
+            nx.path_graph(2),
+            proto_factory(proto),
+            policy=BandwidthPolicy.unbounded(),
+        )
+        assert result.metrics.violations == 0
+
+    def test_per_round_recording(self):
+        def proto(ctx):
+            yield {v: ("a",) for v in ctx.neighbors}
+            yield {}
+            return None
+
+        net = Network(nx.path_graph(2), proto_factory(proto))
+        result = net.run(record_rounds=True)
+        assert len(result.metrics.per_round) == result.metrics.rounds
+        assert result.metrics.per_round[0].messages == 2
+
+
+class TestConstruction:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            Network(nx.Graph(), proto_factory(lambda ctx: iter(())))
+
+    def test_non_int_labels_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        with pytest.raises(TypeError):
+            Network(graph, proto_factory(lambda ctx: iter(())))
+
+    def test_inputs_reach_nodes(self):
+        def proto(ctx):
+            return ctx.data["x"]
+            yield  # pragma: no cover
+
+        result = run_protocol(
+            nx.path_graph(2),
+            proto_factory(proto),
+            inputs={0: {"x": 10}, 1: {"x": 20}},
+        )
+        assert result.outputs == {0: 10, 1: 20}
+
+    def test_delta_defaults_to_max_degree(self):
+        def proto(ctx):
+            return ctx.delta
+            yield  # pragma: no cover
+
+        result = run_protocol(
+            nx.star_graph(4), proto_factory(proto)
+        )
+        assert set(result.outputs.values()) == {4}
+
+    def test_neighbors_sorted(self):
+        def proto(ctx):
+            return ctx.neighbors
+            yield  # pragma: no cover
+
+        result = run_protocol(nx.cycle_graph(4), proto_factory(proto))
+        for neighbors in result.outputs.values():
+            assert list(neighbors) == sorted(neighbors)
+
+
+class TestDeterminism:
+    def test_same_seed_same_transcript(self):
+        def proto(ctx):
+            values = []
+            for _ in range(3):
+                inbox = yield {
+                    v: ("r", ctx.rng.randrange(1000))
+                    for v in ctx.neighbors
+                }
+                values.append(
+                    sorted(p[1] for p in inbox.values())
+                )
+            return values
+
+        first = run_protocol(
+            nx.cycle_graph(5), proto_factory(proto), seed=42
+        )
+        second = run_protocol(
+            nx.cycle_graph(5), proto_factory(proto), seed=42
+        )
+        assert first.outputs == second.outputs
+
+    def test_different_seeds_differ(self):
+        def proto(ctx):
+            return ctx.rng.randrange(10**9)
+            yield  # pragma: no cover
+
+        a = run_protocol(
+            nx.path_graph(4), proto_factory(proto), seed=1
+        )
+        b = run_protocol(
+            nx.path_graph(4), proto_factory(proto), seed=2
+        )
+        assert a.outputs != b.outputs
+
+
+class TestHelpers:
+    def test_log2_ceil(self):
+        assert log2_ceil(1) == 1
+        assert log2_ceil(2) == 1
+        assert log2_ceil(3) == 2
+        assert log2_ceil(1024) == 10
+        assert log2_ceil(1025) == 11
+
+    def test_idle_helper(self):
+        class Prog(NodeProgram):
+            def run(self):
+                yield from self.idle(3)
+                return "ok"
+
+        result = run_protocol(nx.path_graph(2), Prog)
+        assert set(result.outputs.values()) == {"ok"}
+        assert result.metrics.rounds == 3

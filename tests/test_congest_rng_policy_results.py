@@ -1,0 +1,116 @@
+"""Tests for RNG derivation, bandwidth policy, and result types."""
+
+import pytest
+
+from repro.congest.metrics import RunMetrics
+from repro.congest.policy import BandwidthMode, BandwidthPolicy
+from repro.congest.rng import derive_int, derive_rng
+from repro.results import ColoringResult
+
+
+class TestRng:
+    def test_deterministic(self):
+        assert derive_int(1, "a") == derive_int(1, "a")
+
+    def test_label_sensitivity(self):
+        assert derive_int(1, "a") != derive_int(1, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_int(1, "a") != derive_int(2, "a")
+
+    def test_rng_streams_independent(self):
+        r1 = derive_rng(0, "node", 1)
+        r2 = derive_rng(0, "node", 2)
+        assert [r1.random() for _ in range(5)] != [
+            r2.random() for _ in range(5)
+        ]
+
+    def test_rng_reproducible(self):
+        a = derive_rng(7, "x").random()
+        b = derive_rng(7, "x").random()
+        assert a == b
+
+
+class TestPolicy:
+    def test_budget_scales_with_log_n(self):
+        policy = BandwidthPolicy(beta=8, min_bits=0)
+        assert policy.budget_bits(1024) == 80
+        assert policy.budget_bits(2048) == 88
+
+    def test_min_bits_floor(self):
+        policy = BandwidthPolicy(beta=1, min_bits=100)
+        assert policy.budget_bits(4) == 100
+
+    def test_tiny_n(self):
+        policy = BandwidthPolicy(beta=8, min_bits=0)
+        assert policy.budget_bits(1) == 8
+
+    def test_factories(self):
+        assert BandwidthPolicy.strict().mode is BandwidthMode.STRICT
+        assert BandwidthPolicy.track().mode is BandwidthMode.TRACK
+        assert (
+            BandwidthPolicy.unbounded().mode
+            is BandwidthMode.UNBOUNDED
+        )
+
+
+class TestRunMetrics:
+    def test_observe_tracks_max(self):
+        metrics = RunMetrics()
+        metrics.observe(10)
+        metrics.observe(50)
+        metrics.observe(20)
+        assert metrics.max_message_bits == 50
+        assert metrics.total_messages == 3
+        assert metrics.total_bits == 80
+
+    def test_merge_adds_rounds(self):
+        a = RunMetrics(rounds=3, total_messages=5, budget_bits=64)
+        b = RunMetrics(rounds=2, total_messages=7, budget_bits=64)
+        merged = a.merge(b)
+        assert merged.rounds == 5
+        assert merged.total_messages == 12
+
+    def test_compliance(self):
+        metrics = RunMetrics()
+        assert metrics.compliant
+        metrics.observe_violation(200)
+        assert not metrics.compliant
+        assert metrics.worst_violation_bits == 200
+
+    def test_summary_contains_rounds(self):
+        assert "rounds=0" in RunMetrics().summary()
+
+
+class TestColoringResult:
+    def _result(self):
+        return ColoringResult(
+            algorithm="x",
+            coloring={0: 1, 1: 2, 2: 1},
+            palette_size=5,
+            rounds=0,
+        )
+
+    def test_colors_used(self):
+        assert self._result().colors_used == 2
+
+    def test_complete(self):
+        result = self._result()
+        assert result.complete
+        result.coloring[3] = None
+        assert not result.complete
+
+    def test_add_phase_accumulates(self):
+        result = self._result()
+        result.add_phase("a", 10)
+        result.add_phase("b", 5)
+        assert result.rounds == 15
+        assert result.phase_rounds() == {"a": 10, "b": 5}
+
+    def test_add_phase_merges_metrics(self):
+        result = self._result()
+        result.add_phase("a", 10, RunMetrics(rounds=10, total_bits=7))
+        assert result.metrics.total_bits == 7
+
+    def test_summary_mentions_algorithm(self):
+        assert "x:" in self._result().summary()

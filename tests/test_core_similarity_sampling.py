@@ -1,0 +1,299 @@
+"""Tests for similarity graphs (Thm 2.2) and the XOR lottery
+(Lemma 2.3)."""
+
+import networkx as nx
+import pytest
+from scipy import stats
+
+from repro.congest.network import Network
+from repro.congest.node import NodeContext, NodeProgram
+from repro.congest.policy import BandwidthPolicy
+from repro.core.constants import Constants, K_H, K_HHAT
+from repro.core.sampling import LotteryMixin, filter_width
+from repro.core.similarity import (
+    SimilarityConfig,
+    SimilarityMixin,
+    SimilarityState,
+)
+from repro.graphs.instances import hoffman_singleton, petersen
+from repro.graphs.generators import random_regular
+from repro.graphs.square import common_d2_neighbors, d2_neighbors
+
+
+class SimilarityProbe(SimilarityMixin, NodeProgram):
+    """Builds the similarity state and returns it."""
+
+    def run(self):
+        state = yield from self.build_similarity(
+            self.ctx.data["config"]
+        )
+        return state
+
+
+def build_similarity(graph, force_exact=None, constants=None, seed=0):
+    constants = constants or Constants.practical()
+    n = graph.number_of_nodes()
+    delta = max((d for _, d in graph.degree), default=1)
+    policy = BandwidthPolicy()
+    config = SimilarityConfig.derive(
+        n,
+        delta,
+        policy.budget_bits(n),
+        constants,
+        force_exact=force_exact,
+    )
+    network = Network(
+        graph,
+        SimilarityProbe,
+        seed=seed,
+        policy=policy,
+        inputs={v: {"config": config} for v in graph.nodes},
+    )
+    run = network.run()
+    return run.outputs, config
+
+
+class TestExactSimilarity:
+    def test_own_set_is_d2_neighborhood(self):
+        graph = petersen()
+        states, _config = build_similarity(graph, force_exact=True)
+        for v in graph.nodes:
+            assert states[v].own_set == frozenset(
+                d2_neighbors(graph, v)
+            )
+
+    def test_neighbor_sets_correct(self):
+        graph = random_regular(4, 16, seed=1)
+        states, _config = build_similarity(graph, force_exact=True)
+        for v in graph.nodes:
+            for u in graph.neighbors(v):
+                assert states[v].nbr_sets[u] == frozenset(
+                    d2_neighbors(graph, u)
+                )
+
+    def test_no_drops_in_exact_mode(self):
+        graph = random_regular(4, 16, seed=2)
+        states, _config = build_similarity(graph, force_exact=True)
+        assert all(s.dropped_items == 0 for s in states.values())
+
+    def test_moore_graph_similarity_complete(self):
+        # In the HS graph G² = K50 and any two nodes share 48 of the
+        # 49 d2-neighbors >= (2/3)·49, so H contains every pair; the
+        # Ĥ threshold (5/6)·49 ≈ 40.8 < 48 also holds.
+        graph = hoffman_singleton()
+        states, _config = build_similarity(graph, force_exact=True)
+        for v in list(graph.nodes)[:5]:
+            state = states[v]
+            for u in graph.neighbors(v):
+                assert state.is_h(v, u)
+                assert state.is_hhat(v, u)
+
+    def test_middle_node_knows_pair_adjacency(self):
+        graph = hoffman_singleton()
+        states, _config = build_similarity(graph, force_exact=True)
+        w = 0
+        nbrs = list(graph.neighbors(w))
+        assert states[w].is_h(nbrs[0], nbrs[1])
+
+    def test_sparse_graph_no_similarity(self):
+        # On a path, d2-neighborhoods share few nodes vs the Δ²
+        # threshold; H must be empty.
+        graph = nx.path_graph(12)
+        states, _config = build_similarity(graph, force_exact=True)
+        for v in graph.nodes:
+            assert states[v].h_immediate() == frozenset()
+
+    def test_thresholds_exact_values(self):
+        graph = petersen()
+        _states, config = build_similarity(graph, force_exact=True)
+        assert config.threshold_h == pytest.approx((1 - 1 / K_H) * 9)
+        assert config.threshold_hhat == pytest.approx(
+            (1 - 1 / K_HHAT) * 9
+        )
+
+
+class TestSampledSimilarity:
+    def test_theorem_2_2_on_moore_graph(self):
+        # Sampled similarity must classify the HS pairs (all truly
+        # similar) as H-adjacent for most pairs.
+        graph = hoffman_singleton()
+        constants = Constants.practical().scaled(c10=16.0)
+        states, config = build_similarity(
+            graph, force_exact=False, constants=constants, seed=3
+        )
+        assert not config.exact
+        hits = 0
+        total = 0
+        for v in list(graph.nodes)[:10]:
+            for u in graph.neighbors(v):
+                total += 1
+                hits += states[v].is_h(v, u)
+        assert hits / total > 0.8
+
+    def test_sampled_rejects_dissimilar_pairs(self):
+        # Two adjacent path nodes share almost no d2-neighbors.
+        graph = nx.path_graph(200)
+        constants = Constants.practical().scaled(c10=16.0)
+        states, _config = build_similarity(
+            graph, force_exact=False, constants=constants, seed=4
+        )
+        false_pairs = sum(
+            1
+            for v in graph.nodes
+            for u in graph.neighbors(v)
+            if states[v].is_h(v, u)
+        )
+        assert false_pairs == 0
+
+    def test_sample_probability_formula(self):
+        constants = Constants.practical()
+        p = constants.similarity_sample_probability(256, 10)
+        assert p == pytest.approx(8.0 * 8.0 / 100.0)
+
+
+class TestSimilarityState:
+    def test_is_h_unknown_node_false(self):
+        state = SimilarityState(
+            0,
+            frozenset({1, 2}),
+            {},
+            SimilarityConfig(
+                exact=True,
+                sample_p=1.0,
+                threshold_h=1,
+                threshold_hhat=2,
+                forward_rounds=1,
+                own_rounds=1,
+                per_message=8,
+            ),
+        )
+        assert not state.is_h(0, 99)
+        assert not state.is_h(0, 0)
+
+    def test_cache_consistency(self):
+        sets = {
+            1: frozenset({10, 11, 12}),
+            2: frozenset({10, 11, 13}),
+        }
+        state = SimilarityState(
+            0,
+            frozenset({10, 11, 12, 13}),
+            sets,
+            SimilarityConfig(
+                exact=True,
+                sample_p=1.0,
+                threshold_h=2,
+                threshold_hhat=3,
+                forward_rounds=1,
+                own_rounds=1,
+                per_message=8,
+            ),
+        )
+        assert state.is_h(1, 2)  # share {10, 11}
+        assert state.is_h(2, 1)  # cached, symmetric
+        assert not state.is_hhat(1, 2)
+
+
+class LotteryProbe(LotteryMixin, SimilarityMixin, NodeProgram):
+    """Draws ``count`` lottery samples after building similarity."""
+
+    def run(self):
+        similarity = yield from self.build_similarity(
+            self.ctx.data["config"]
+        )
+        draws = []
+        for _ in range(self.ctx.data["count"]):
+            drawn = yield from self.lottery_round(
+                similarity,
+                filter_bits=self.ctx.data.get("filter_bits", 0),
+            )
+            draws.append(drawn)
+        return {"similarity": similarity, "draws": draws}
+
+
+def run_lottery(graph, count, filter_bits=0, seed=0):
+    n = graph.number_of_nodes()
+    delta = max((d for _, d in graph.degree), default=1)
+    policy = BandwidthPolicy()
+    config = SimilarityConfig.derive(
+        n,
+        delta,
+        policy.budget_bits(n),
+        Constants.practical(),
+        force_exact=True,
+    )
+    network = Network(
+        graph,
+        LotteryProbe,
+        seed=seed,
+        policy=policy,
+        inputs={
+            v: {
+                "config": config,
+                "count": count,
+                "filter_bits": filter_bits,
+            }
+            for v in graph.nodes
+        },
+    )
+    return network.run().outputs
+
+
+class TestLottery:
+    def test_draws_are_h_neighbors(self):
+        graph = petersen()
+        outputs = run_lottery(graph, count=20, seed=1)
+        for v in graph.nodes:
+            similarity = outputs[v]["similarity"]
+            for drawn in outputs[v]["draws"]:
+                assert drawn is not None
+                w, relay = drawn
+                assert w in common_or_self(graph, v)
+                # relay is a usable route: w itself or a common nbr
+                if relay != w:
+                    assert graph.has_edge(v, relay)
+                    assert graph.has_edge(relay, w)
+
+    def test_uniformity_chi_square(self):
+        # Petersen: every node has 9 H-neighbors (G² = K10, all
+        # similar).  400 draws per node; chi-square should not
+        # reject uniformity.
+        graph = petersen()
+        outputs = run_lottery(graph, count=400, seed=2)
+        for v in list(graph.nodes)[:3]:
+            counts = {}
+            for drawn in outputs[v]["draws"]:
+                counts[drawn[0]] = counts.get(drawn[0], 0) + 1
+            observed = [counts.get(u, 0) for u in graph.nodes if u != v]
+            _chi, p_value = stats.chisquare(observed)
+            assert p_value > 1e-4
+
+    def test_heavy_filter_yields_none(self):
+        graph = petersen()
+        outputs = run_lottery(
+            graph, count=5, filter_bits=60, seed=3
+        )
+        assert all(
+            drawn is None
+            for v in graph.nodes
+            for drawn in outputs[v]["draws"]
+        )
+
+    def test_filter_width_formula(self):
+        assert filter_width(1, 100, 4.0) == 0
+        assert filter_width(100, 4, 4.0) == 0
+        wide = filter_width(2**12, 2**4, 0.0)
+        assert wide == 24
+
+    def test_no_h_neighbors_returns_none(self):
+        graph = nx.path_graph(10)
+        outputs = run_lottery(graph, count=3, seed=4)
+        assert all(
+            drawn is None
+            for v in graph.nodes
+            for drawn in outputs[v]["draws"]
+        )
+
+
+def common_or_self(graph, v):
+    return d2_neighbors(graph, v)

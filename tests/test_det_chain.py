@@ -1,0 +1,245 @@
+"""Tests for the Theorem 1.2 chain: Linial, locally-iterative,
+color reduction, and the composed pipeline."""
+
+import networkx as nx
+import pytest
+
+from repro.det.color_reduction import color_reduction_d2
+from repro.det.det_d2color import deterministic_d2_color
+from repro.det.linial import (
+    choose_parameters,
+    final_palette,
+    linial_d2_coloring,
+    linial_g_coloring,
+    linial_schedule,
+)
+from repro.det.locally_iterative import (
+    locally_iterative_d2_coloring,
+)
+from repro.graphs.generators import gnp, random_regular
+from repro.graphs.instances import moore_graph, petersen
+from repro.graphs.square import max_d2_degree
+from repro.util.primes import is_prime
+from repro.verify.checker import check_coloring, check_d2_coloring
+
+
+class TestLinialSchedule:
+    def test_parameters_satisfy_constraints(self):
+        for m, degree in [(1000, 4), (10**6, 16), (50, 2)]:
+            d, q = choose_parameters(m, degree)
+            assert is_prime(q)
+            assert q > d * degree
+            assert q ** (d + 1) >= m
+
+    def test_schedule_descends(self):
+        schedule = linial_schedule(10**6, 16)
+        sizes = [m for _, _, m in schedule]
+        assert sizes == sorted(sizes, reverse=True)
+        assert all(
+            later < earlier
+            for earlier, later in zip([10**6] + sizes, sizes)
+        )
+
+    def test_fixed_point_is_o_of_degree_squared(self):
+        # The stall point is nextprime(~2D+1)² = O(D²); for D = Δ²
+        # this is the O(Δ⁴) palette of Theorem B.1.
+        degree = 16
+        final = final_palette(10**9, degree)
+        assert final <= 8 * degree * degree
+
+    def test_empty_schedule_when_input_small(self):
+        assert linial_schedule(9, 16) == []
+        assert final_palette(9, 16) == 9
+
+    def test_iteration_count_is_log_star_like(self):
+        # Even astronomically many input colors converge in a handful
+        # of iterations (Thm B.1's log* behaviour).
+        schedule = linial_schedule(2**64, 9)
+        assert 1 <= len(schedule) <= 5
+
+
+class TestLinialColoring:
+    def test_d2_valid_on_suite(self, suite_graph):
+        name, graph = suite_graph
+        result = linial_d2_coloring(graph)
+        report = check_d2_coloring(
+            graph, result.coloring, result.palette_size
+        )
+        assert report.valid, f"{name}: {report.explain()}"
+
+    def test_g_valid_on_suite(self, suite_graph):
+        name, graph = suite_graph
+        result = linial_g_coloring(graph)
+        report = check_coloring(
+            graph, result.coloring, result.palette_size
+        )
+        assert report.valid, f"{name}: {report.explain()}"
+
+    def test_large_n_small_delta_actually_iterates(self):
+        graph = nx.cycle_graph(500)
+        result = linial_d2_coloring(graph)
+        assert result.params["iterations"] >= 1
+        assert result.palette_size < 500
+        assert check_d2_coloring(
+            graph, result.coloring, result.palette_size
+        ).valid
+
+    def test_part_filtered_variant(self):
+        graph = random_regular(6, 40, seed=5)
+        parts = {v: v % 2 for v in graph.nodes}
+        result = linial_d2_coloring(
+            graph, parts=parts, conflict_degree=20
+        )
+        # validity within each part at distance 2
+        from repro.graphs.square import d2_neighbors
+
+        for v in graph.nodes:
+            for u in d2_neighbors(graph, v):
+                if parts[u] == parts[v]:
+                    assert result.coloring[u] != result.coloring[v]
+
+    def test_color_in_used(self):
+        graph = nx.cycle_graph(100)
+        base = {v: v for v in graph.nodes}
+        result = linial_d2_coloring(
+            graph, color_in=base, palette_in=100
+        )
+        assert check_d2_coloring(
+            graph, result.coloring, result.palette_size
+        ).valid
+
+
+class TestLocallyIterative:
+    def test_valid_and_palette(self, suite_graph):
+        name, graph = suite_graph
+        delta = max((d for _, d in graph.degree), default=0)
+        if delta == 0:
+            pytest.skip("edgeless")
+        linial = linial_d2_coloring(graph)
+        result = locally_iterative_d2_coloring(
+            graph,
+            color_in=linial.coloring,
+            palette_in=linial.palette_size,
+        )
+        assert result.complete, name
+        report = check_d2_coloring(
+            graph, result.coloring, result.palette_size
+        )
+        assert report.valid, f"{name}: {report.explain()}"
+        q = result.params["q"]
+        assert 4 * delta * delta < q < 8 * delta * delta
+
+    def test_lemma_b3_blocked_phases_bound(self, suite_graph):
+        """Lemma B.3: at most 2·(d2-degree) <= 2Δ² blocked phases."""
+        name, graph = suite_graph
+        delta = max((d for _, d in graph.degree), default=0)
+        if delta == 0:
+            pytest.skip("edgeless")
+        linial = linial_d2_coloring(graph)
+        result = locally_iterative_d2_coloring(
+            graph,
+            color_in=linial.coloring,
+            palette_in=linial.palette_size,
+            stop_early=False,
+        )
+        bound = 2 * max_d2_degree(graph)
+        assert result.params["max_blocked_phases"] <= bound, name
+
+    def test_rejects_oversized_input_palette(self):
+        graph = nx.path_graph(4)
+        with pytest.raises(ValueError):
+            locally_iterative_d2_coloring(
+                graph,
+                color_in={v: v for v in graph.nodes},
+                palette_in=10**9,
+            )
+
+
+class TestColorReduction:
+    def test_reduces_to_target(self):
+        graph = random_regular(4, 24, seed=2)
+        linial = linial_d2_coloring(graph)
+        iterative = locally_iterative_d2_coloring(
+            graph,
+            color_in=linial.coloring,
+            palette_in=linial.palette_size,
+        )
+        reduced = color_reduction_d2(
+            graph,
+            color_in=iterative.coloring,
+            palette_in=iterative.palette_size,
+        )
+        assert reduced.palette_size == 17
+        report = check_d2_coloring(
+            graph, reduced.coloring, reduced.palette_size
+        )
+        assert report.valid, report.explain()
+
+    def test_rejects_palette_below_target(self):
+        graph = nx.path_graph(4)
+        with pytest.raises(ValueError):
+            color_reduction_d2(
+                graph,
+                color_in={v: 0 for v in graph.nodes},
+                palette_in=2,
+                target=10,
+            )
+
+    def test_identity_when_already_small(self):
+        graph = nx.path_graph(4)
+        colors = {0: 0, 1: 1, 2: 2, 3: 3}
+        result = color_reduction_d2(
+            graph, color_in=colors, palette_in=5, target=5
+        )
+        assert result.coloring == colors
+
+
+class TestTheorem12Pipeline:
+    def test_valid_on_suite(self, suite_graph):
+        name, graph = suite_graph
+        result = deterministic_d2_color(graph)
+        assert result.complete, name
+        report = check_d2_coloring(
+            graph, result.coloring, result.palette_size
+        )
+        assert report.valid, f"{name}: {report.explain()}"
+        delta = max((d for _, d in graph.degree), default=0)
+        assert result.palette_size == delta * delta + 1
+
+    @pytest.mark.parametrize("delta", [2, 3, 7])
+    def test_moore_graphs_exactly_delta_sq_plus_1(self, delta):
+        graph = moore_graph(delta)
+        result = deterministic_d2_color(graph)
+        assert result.colors_used == delta * delta + 1
+        assert check_d2_coloring(
+            graph, result.coloring, result.palette_size
+        ).valid
+
+    def test_edgeless_graph(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        result = deterministic_d2_color(graph)
+        assert result.complete
+        assert result.palette_size == 1
+
+    def test_phase_breakdown_present(self):
+        result = deterministic_d2_color(petersen())
+        names = set(result.phase_rounds())
+        assert "linial" in names
+        assert "locally-iterative" in names
+
+    def test_rounds_scale_with_delta_squared(self):
+        small = deterministic_d2_color(
+            random_regular(3, 60, seed=1), stop_early=False
+        )
+        large = deterministic_d2_color(
+            random_regular(9, 60, seed=1), stop_early=False
+        )
+        assert large.rounds > small.rounds
+
+    def test_deterministic_reproducible(self):
+        graph = gnp(30, 0.15, seed=4)
+        a = deterministic_d2_color(graph)
+        b = deterministic_d2_color(graph)
+        assert a.coloring == b.coloring
+        assert a.rounds == b.rounds

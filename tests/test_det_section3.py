@@ -1,0 +1,303 @@
+"""Tests for Sec. 3: decomposition, splitting (Thm 3.2), recursive
+split (Lemma 3.3), (1+ε)Δ coloring (Thm 3.4), (1+ε)Δ² (Thm 1.3)."""
+
+import networkx as nx
+import pytest
+
+from repro.det.decomposition import (
+    ball_carving_decomposition,
+    mpx_decomposition,
+)
+from repro.det.eps_coloring import eps_coloring_g
+from repro.det.eps_d2coloring import eps_d2_color
+from repro.det.g_coloring import (
+    deg_plus_one_coloring_g,
+    prime_between,
+)
+from repro.det.recursive_split import (
+    measured_max_part_degree,
+    paper_target_degree,
+    recursive_split,
+    split_levels,
+)
+from repro.det.splitting import (
+    degree_threshold,
+    derandomized_splitting,
+    random_splitting,
+    splitting_violations,
+)
+from repro.graphs.generators import (
+    clique_clusters,
+    complete_bipartite,
+    gnp,
+    random_regular,
+)
+from repro.verify.checker import check_coloring, check_d2_coloring
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_ball_carving_valid(self, suite_graph, k):
+        _name, graph = suite_graph
+        dec = ball_carving_decomposition(graph, k=k)
+        assert dec.validate(graph)
+
+    def test_mpx_valid(self, suite_graph):
+        _name, graph = suite_graph
+        dec = mpx_decomposition(graph, k=2, seed=1)
+        assert dec.validate(graph)
+
+    def test_partition_covers_all_nodes(self):
+        graph = gnp(40, 0.1, seed=1)
+        dec = ball_carving_decomposition(graph, k=2)
+        covered = set()
+        for nodes in dec.members.values():
+            covered.update(nodes)
+        assert covered == set(graph.nodes)
+
+    def test_radius_recorded(self):
+        graph = nx.path_graph(30)
+        dec = ball_carving_decomposition(graph, k=2)
+        assert all(r >= 0 for r in dec.radius.values())
+
+    def test_color_classes_partition_clusters(self):
+        graph = gnp(30, 0.1, seed=2)
+        dec = ball_carving_decomposition(graph, k=2)
+        clusters = [
+            c
+            for group in dec.color_classes().values()
+            for c in group
+        ]
+        assert sorted(clusters) == sorted(dec.members)
+
+    def test_validate_rejects_bad_coloring(self):
+        graph = nx.path_graph(6)
+        dec = ball_carving_decomposition(graph, k=2)
+        if dec.num_clusters > 1:
+            # force all clusters to one color: separation breaks
+            for c in dec.color_of_cluster:
+                dec.color_of_cluster[c] = 0
+            assert not dec.validate(graph)
+
+
+class TestSplitting:
+    def test_degree_threshold_formula(self):
+        assert degree_threshold(256, 1.0) == pytest.approx(96.0)
+
+    def test_violation_checker_vacuous_below_threshold(self):
+        graph = complete_bipartite(1, 10)
+        parts = {v: 0 for v in graph.nodes}
+        colors = {v: 0 for v in graph.nodes}  # maximally unbalanced
+        # paper threshold >> 10, so no constrained vertex
+        assert (
+            splitting_violations(graph, parts, colors, lam=0.5)
+            == []
+        )
+
+    def test_violation_checker_catches_imbalance(self):
+        graph = complete_bipartite(1, 20)
+        parts = {v: 0 for v in graph.nodes}
+        colors = {v: 0 for v in graph.nodes}
+        violations = splitting_violations(
+            graph, parts, colors, lam=0.5, threshold=10
+        )
+        assert (0, 0) in violations
+
+    def test_random_splitting_whp_ok(self):
+        graph = random_regular(16, 60, seed=3)
+        parts = {v: 0 for v in graph.nodes}
+        result = random_splitting(
+            graph, parts, lam=0.9, seed=5, threshold=12
+        )
+        assert result.ok
+
+    def test_derandomized_guaranteed_when_chernoff_closes(self):
+        # K_{1,300}: the hub is constrained (deg 300 >= threshold);
+        # the MGF estimator's initial sum is << 1, so the greedy
+        # fixing is *guaranteed* to end violation-free.
+        graph = complete_bipartite(1, 300)
+        parts = {v: 0 for v in graph.nodes}
+        result = derandomized_splitting(graph, parts, lam=0.7)
+        assert result.method == "node_coins"
+        assert result.ok
+        assert result.charged_rounds > 0
+
+    def test_derandomized_balances_hub(self):
+        graph = complete_bipartite(1, 100)
+        parts = {v: 0 for v in graph.nodes}
+        result = derandomized_splitting(
+            graph, parts, lam=0.2, threshold=50
+        )
+        leaves = [v for v in graph.nodes if graph.degree[v] == 1]
+        reds = sum(result.colors[v] == 0 for v in leaves)
+        assert abs(reds - 50) <= 10
+
+    def test_derandomized_deterministic(self):
+        graph = gnp(30, 0.2, seed=7)
+        parts = {v: v % 2 for v in graph.nodes}
+        a = derandomized_splitting(graph, parts, lam=0.5)
+        b = derandomized_splitting(graph, parts, lam=0.5)
+        assert a.colors == b.colors
+
+    def test_seeded_variant_produces_valid_splitting(self):
+        graph = complete_bipartite(2, 12)
+        parts = {v: 0 for v in graph.nodes}
+        result = derandomized_splitting(
+            graph,
+            parts,
+            lam=0.9,
+            method="seeded",
+            seeded_samples=16,
+        )
+        assert result.ok
+
+    def test_unknown_method_rejected(self):
+        graph = nx.path_graph(4)
+        with pytest.raises(ValueError):
+            derandomized_splitting(
+                graph, {v: 0 for v in graph.nodes}, 0.5, method="x"
+            )
+
+    def test_respects_multiple_groups(self):
+        graph = complete_bipartite(2, 200)
+        # hubs 0,1; leaves split into two groups
+        parts = {v: (v % 2) for v in graph.nodes}
+        result = derandomized_splitting(
+            graph, parts, lam=0.5, threshold=40
+        )
+        assert result.ok
+
+
+class TestRecursiveSplit:
+    def test_paper_target_is_huge_at_laptop_scale(self):
+        assert paper_target_degree(256, 0.5) > 1000
+
+    def test_split_levels_formula(self):
+        assert split_levels(10, 0.5, 1000) == 0
+        assert split_levels(64, 0.5, 8) >= 3
+
+    def test_levels_zero_single_part(self):
+        graph = random_regular(6, 30, seed=1)
+        split = recursive_split(graph, eps=0.5, levels=0)
+        assert split.num_parts == 1
+        assert split.max_part_degree == 6
+
+    def test_degree_roughly_halves_per_level(self):
+        graph = random_regular(12, 60, seed=2)
+        split = recursive_split(
+            graph, eps=0.5, levels=2, lam=0.4, threshold=3
+        )
+        # 12 -> ~3 per part after 2 levels; allow generous slack.
+        assert split.max_part_degree <= 7
+        assert len(set(split.parts.values())) >= 3
+
+    def test_measured_degree_helper(self):
+        graph = nx.cycle_graph(6)
+        parts = {v: v % 2 for v in graph.nodes}
+        assert measured_max_part_degree(graph, parts) == 2
+
+    def test_random_split_variant(self):
+        graph = random_regular(12, 60, seed=3)
+        split = recursive_split(
+            graph,
+            eps=0.5,
+            levels=1,
+            deterministic=False,
+            lam=0.4,
+            threshold=3,
+        )
+        assert split.levels == 1
+        assert split.max_part_degree <= 10
+
+
+class TestEpsColoringG:
+    def test_prime_between(self):
+        q = prime_between(8, 16)
+        assert q in (11, 13)
+        with pytest.raises(ArithmeticError):
+            prime_between(8, 9)
+
+    def test_deg_plus_one_valid(self, suite_graph):
+        name, graph = suite_graph
+        delta = max((d for _, d in graph.degree), default=0)
+        if delta == 0:
+            pytest.skip("edgeless")
+        result = deg_plus_one_coloring_g(graph)
+        report = check_coloring(
+            graph, result.coloring, result.palette_size
+        )
+        assert report.valid, f"{name}: {report.explain()}"
+        assert result.palette_size == delta + 1
+
+    def test_eps_coloring_h0_paper_regime(self):
+        graph = random_regular(6, 40, seed=4)
+        result = eps_coloring_g(graph, eps=0.5)
+        assert result.params["levels"] == 0
+        assert check_coloring(
+            graph, result.coloring, result.palette_size
+        ).valid
+
+    def test_eps_coloring_forced_levels_valid(self):
+        graph = random_regular(10, 50, seed=5)
+        result = eps_coloring_g(
+            graph,
+            eps=0.5,
+            levels=2,
+            split_lam=0.3,
+            split_threshold=4,
+        )
+        assert check_coloring(
+            graph, result.coloring, result.palette_size
+        ).valid
+
+    def test_edgeless(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(3))
+        result = eps_coloring_g(graph, eps=0.5)
+        assert result.complete
+
+
+class TestTheorem13:
+    def test_h0_gives_delta_sq_plus_one(self):
+        graph = random_regular(5, 30, seed=6)
+        result = eps_d2_color(graph, eps=0.5, levels=0)
+        assert result.palette_size == 26
+        report = check_d2_coloring(
+            graph, result.coloring, result.palette_size
+        )
+        assert report.valid, report.explain()
+
+    def test_forced_levels_valid(self):
+        graph = random_regular(8, 48, seed=7)
+        result = eps_d2_color(
+            graph,
+            eps=1.0,
+            levels=1,
+            split_lam=0.3,
+            split_threshold=4,
+        )
+        report = check_d2_coloring(
+            graph, result.coloring, result.palette_size
+        )
+        assert report.valid, report.explain()
+
+    def test_valid_on_suite_h0(self, suite_graph):
+        name, graph = suite_graph
+        delta = max((d for _, d in graph.degree), default=0)
+        if delta == 0:
+            pytest.skip("edgeless")
+        result = eps_d2_color(graph, eps=0.5, levels=0)
+        report = check_d2_coloring(
+            graph, result.coloring, result.palette_size
+        )
+        assert report.valid, f"{name}: {report.explain()}"
+
+    def test_blocked_phase_bound_reported(self):
+        graph = random_regular(6, 36, seed=8)
+        result = eps_d2_color(graph, eps=0.5, levels=0)
+        assert "max_blocked_phases" in result.params
+
+    def test_paper_regime_is_h0(self):
+        graph = clique_clusters(3, 6, seed=9)
+        result = eps_d2_color(graph, eps=0.25)
+        assert result.params["levels"] == 0

@@ -1,0 +1,131 @@
+"""Tests for the experiment harness and the protocol probes."""
+
+import pytest
+
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    e09_slack,
+    e12_blocked_phases,
+    e16_trial_eps,
+)
+from repro.harness.report import ExperimentTable
+from repro.graphs.generators import random_regular
+from repro.graphs.instances import petersen
+from repro.tests_support import (
+    build_similarity_states,
+    partial_greedy_coloring,
+    run_finish_only,
+    run_learn_palette_only,
+    run_lottery_draws,
+    true_free_sets,
+)
+from repro.util.fitting import fit_linear
+
+
+class TestExperimentTable:
+    def _table(self):
+        table = ExperimentTable(
+            "EX", "title", "claim", ["a", "b"]
+        )
+        table.add_row(1, 2)
+        table.add_check("ok", True)
+        table.add_note("a note")
+        return table
+
+    def test_render_contains_sections(self):
+        text = self._table().render()
+        assert "EX: title" in text
+        assert "paper claim: claim" in text
+        assert "check [PASS] ok" in text
+        assert "note: a note" in text
+
+    def test_failed_check_rendering(self):
+        table = self._table()
+        table.add_check("bad", False)
+        assert "check [FAIL] bad" in table.render()
+        assert not table.all_checks_pass
+
+    def test_best_fit(self):
+        table = self._table()
+        assert table.best_fit() is None
+        table.fits = [fit_linear([0, 1], [0, 1], "f")]
+        assert table.best_fit().name == "f"
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {f"E{i}" for i in range(1, 20)}
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_experiments_return_tables(self):
+        table = e16_trial_eps(eps_values=(0.0, 1.0), n=24)
+        assert isinstance(table, ExperimentTable)
+        assert table.rows
+
+    def test_slack_experiment_checks(self):
+        table = e09_slack(deltas=(6,), n=40)
+        assert table.all_checks_pass
+
+    def test_blocked_phases_experiment(self):
+        table = e12_blocked_phases()
+        assert table.all_checks_pass
+
+
+class TestProbes:
+    def test_partial_greedy_coloring_live_count(self):
+        graph = random_regular(4, 20, seed=1)
+        coloring = partial_greedy_coloring(graph, 5, seed=2)
+        live = [v for v, c in coloring.items() if c is None]
+        assert len(live) == 5
+
+    def test_true_free_sets_are_free(self):
+        graph = random_regular(4, 20, seed=1)
+        coloring = partial_greedy_coloring(graph, 4, seed=3)
+        free = true_free_sets(graph, coloring, 17)
+        from repro.graphs.square import d2_neighbors
+
+        for v, colors in free.items():
+            used = {
+                coloring[u]
+                for u in d2_neighbors(graph, v)
+                if coloring[u] is not None
+            }
+            assert not (colors & used)
+            assert colors  # palette > d2-degree guarantees one
+
+    def test_run_finish_only_valid(self):
+        graph = random_regular(6, 40, seed=4)
+        rounds, valid = run_finish_only(graph, 5, seed=5)
+        assert valid
+        assert rounds >= 1
+
+    def test_run_learn_palette_flooding_exact(self):
+        graph = petersen()
+        rounds, exact, superset = run_learn_palette_only(
+            graph, 3, force_small=True, seed=6
+        )
+        assert exact
+        assert superset
+        assert rounds > 0
+
+    def test_run_learn_palette_handlers_superset(self):
+        graph = petersen()
+        _rounds, _exact, superset = run_learn_palette_only(
+            graph, 3, force_small=False, seed=7
+        )
+        assert superset
+
+    def test_similarity_probe_shapes(self):
+        graph = petersen()
+        states, config = build_similarity_states(
+            graph, force_exact=True
+        )
+        assert config.exact
+        assert set(states) == set(graph.nodes)
+
+    def test_lottery_probe_draw_count(self):
+        graph = petersen()
+        outputs = run_lottery_draws(graph, count=4, seed=8)
+        assert all(
+            len(out["draws"]) == 4 for out in outputs.values()
+        )

@@ -1,0 +1,77 @@
+"""Integration matrix: every algorithm × every suite instance.
+
+The single most important invariant of the whole repository: every
+algorithm, on every workload, produces a *complete, valid* d2-coloring
+within its declared palette — checked by the independent BFS checker.
+"""
+
+import pytest
+
+from repro.baselines.greedy import dsatur_d2_coloring, greedy_d2_coloring
+from repro.baselines.naive import naive_congest_d2_color
+from repro.baselines.trial import trial_d2_color
+from repro.core.d2color import basic_d2_color, improved_d2_color
+from repro.det.det_d2color import deterministic_d2_color
+from repro.det.eps_d2coloring import eps_d2_color
+from repro.graphs.instances import moore_graph
+from repro.verify.checker import check_d2_coloring
+
+ALGORITHMS = {
+    "greedy": lambda g: greedy_d2_coloring(g),
+    "dsatur": lambda g: dsatur_d2_coloring(g),
+    "trial": lambda g: trial_d2_color(g, seed=1),
+    "naive": lambda g: naive_congest_d2_color(g, seed=1),
+    "det-1.2": lambda g: deterministic_d2_color(g),
+    "eps-1.3": lambda g: eps_d2_color(g, eps=0.5),
+    "basic-2.1": lambda g: basic_d2_color(g, seed=1),
+    "improved-1.1": lambda g: improved_d2_color(g, seed=1),
+}
+
+
+@pytest.mark.parametrize("algo_name", sorted(ALGORITHMS))
+def test_algorithm_valid_on_suite(algo_name, suite_graph):
+    instance_name, graph = suite_graph
+    result = ALGORITHMS[algo_name](graph)
+    assert result.complete, f"{algo_name} on {instance_name}"
+    report = check_d2_coloring(
+        graph, result.coloring, result.palette_size
+    )
+    assert report.valid, (
+        f"{algo_name} on {instance_name}: {report.explain()}"
+    )
+
+
+@pytest.mark.parametrize("algo_name", sorted(ALGORITHMS))
+@pytest.mark.parametrize("delta", [2, 3])
+def test_moore_graphs_force_full_palette(algo_name, delta):
+    """On a diameter-2 Moore graph, G² is complete: any valid
+    d2-coloring uses exactly n = Δ²+1 colors, for every algorithm."""
+    graph = moore_graph(delta)
+    result = ALGORITHMS[algo_name](graph)
+    assert result.colors_used == delta * delta + 1
+
+
+@pytest.mark.parametrize(
+    "algo_name", ["improved-1.1", "basic-2.1", "trial", "naive"]
+)
+def test_randomized_algorithms_are_seeded_functions(
+    algo_name, suite
+):
+    """Two runs with the same seed are byte-identical."""
+    graph = suite["rr4_20"]
+    first = ALGORITHMS[algo_name](graph)
+    second = ALGORITHMS[algo_name](graph)
+    assert first.coloring == second.coloring
+    assert first.rounds == second.rounds
+
+
+def test_distributed_never_beats_palette_oracle(suite):
+    """Sanity relation: the distributed Δ²+1 algorithms never use
+    more colors than their palette allows, and the centralized greedy
+    is within the same palette — the bound the paper's palette size
+    is built on."""
+    graph = suite["gnp30"]
+    delta = max(d for _, d in graph.degree)
+    for algo_name in ("greedy", "det-1.2", "improved-1.1"):
+        result = ALGORITHMS[algo_name](graph)
+        assert result.colors_used <= delta * delta + 1

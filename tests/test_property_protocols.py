@@ -1,0 +1,97 @@
+"""Hypothesis property tests over random graphs.
+
+These drive whole protocols over randomly generated instances; the
+properties are the unconditional invariants (validity, completeness,
+palette bounds, Lemma B.3's blocked-phase bound).
+"""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.trial import trial_d2_color
+from repro.core.d2color import improved_d2_color
+from repro.det.det_d2color import deterministic_d2_color
+from repro.det.linial import linial_d2_coloring
+from repro.det.locally_iterative import locally_iterative_d2_coloring
+from repro.graphs.generators import gnp
+from repro.graphs.square import max_d2_degree
+from repro.verify.checker import check_d2_coloring
+
+graphs = st.builds(
+    lambda n, p, seed: gnp(n, p, seed=seed),
+    st.integers(min_value=2, max_value=24),
+    st.floats(min_value=0.05, max_value=0.5),
+    st.integers(min_value=0, max_value=50),
+)
+
+_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_SETTINGS
+@given(graphs, st.integers(min_value=0, max_value=10))
+def test_trial_always_valid(graph, seed):
+    result = trial_d2_color(graph, seed=seed)
+    assert result.complete
+    assert check_d2_coloring(
+        graph, result.coloring, result.palette_size
+    ).valid
+
+
+@_SETTINGS
+@given(graphs)
+def test_deterministic_always_valid(graph):
+    result = deterministic_d2_color(graph)
+    assert result.complete
+    assert check_d2_coloring(
+        graph, result.coloring, result.palette_size
+    ).valid
+
+
+@_SETTINGS
+@given(graphs, st.integers(min_value=0, max_value=10))
+def test_improved_always_valid(graph, seed):
+    result = improved_d2_color(graph, seed=seed)
+    assert result.complete
+    assert check_d2_coloring(
+        graph, result.coloring, result.palette_size
+    ).valid
+
+
+@_SETTINGS
+@given(graphs)
+def test_linial_validity_and_palette(graph):
+    delta = max((d for _, d in graph.degree), default=0)
+    if delta == 0:
+        return
+    result = linial_d2_coloring(graph)
+    assert check_d2_coloring(
+        graph, result.coloring, result.palette_size
+    ).valid
+    assert result.palette_size <= max(
+        graph.number_of_nodes(), 8 * delta**4
+    )
+
+
+@_SETTINGS
+@given(graphs)
+def test_lemma_b3_blocked_phases(graph):
+    delta = max((d for _, d in graph.degree), default=0)
+    if delta == 0:
+        return
+    linial = linial_d2_coloring(graph)
+    result = locally_iterative_d2_coloring(
+        graph,
+        color_in=linial.coloring,
+        palette_in=linial.palette_size,
+        stop_early=False,
+    )
+    assert result.complete
+    assert (
+        result.params["max_blocked_phases"]
+        <= 2 * max_d2_degree(graph)
+    )

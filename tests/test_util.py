@@ -1,0 +1,285 @@
+"""Tests for primes, F_q polynomials, GF(2^a), k-wise hashing,
+fitting, tables."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.fitting import (
+    STANDARD_MODELS,
+    compare_models,
+    fit_linear,
+    log_star,
+)
+from repro.util.fq import (
+    Poly1,
+    degree_le_polynomials,
+    linial_set,
+    poly_eval,
+)
+from repro.util.gf2 import GF2Field
+from repro.util.kwise import KWiseCoins
+from repro.util.primes import (
+    bertrand_prime,
+    is_prime,
+    next_prime_at_least,
+)
+from repro.util.tables import ascii_table, format_cell
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        assert [p for p in range(2, 30) if is_prime(p)] == [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+        ]
+
+    def test_carmichael_numbers_rejected(self):
+        for carmichael in (561, 1105, 1729, 2465, 6601):
+            assert not is_prime(carmichael)
+
+    def test_large_prime(self):
+        assert is_prime(2**31 - 1)
+        assert not is_prime(2**32 - 1)
+
+    def test_next_prime_at_least(self):
+        assert next_prime_at_least(14) == 17
+        assert next_prime_at_least(17) == 17
+        assert next_prime_at_least(-5) == 2
+
+    @pytest.mark.parametrize("delta", [1, 2, 3, 5, 8, 16, 40])
+    def test_bertrand_prime_in_range(self, delta):
+        q = bertrand_prime(delta)
+        assert is_prime(q)
+        assert 4 * delta * delta < q < 8 * delta * delta
+
+    def test_bertrand_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bertrand_prime(0)
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    def test_is_prime_matches_trial_division(self, n):
+        reference = all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_prime(n) == reference
+
+
+class TestPoly1:
+    def test_color_to_poly_bijection(self):
+        q = 5
+        seen = set()
+        for color in range(q * q):
+            poly = Poly1.from_color(color, q)
+            seen.add((poly.a, poly.b))
+        assert len(seen) == q * q
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Poly1.from_color(25, 5)
+
+    def test_evaluation(self):
+        poly = Poly1(2, 3, 7)  # 2 + 3x mod 7
+        assert [poly(x) for x in range(7)] == [
+            2, 5, 1, 4, 0, 3, 6,
+        ]
+
+    def test_distinct_polys_agree_at_most_once(self):
+        q = 11
+        for c1 in range(0, q * q, 7):
+            for c2 in range(0, q * q, 13):
+                if c1 == c2:
+                    continue
+                p1 = Poly1.from_color(c1, q)
+                p2 = Poly1.from_color(c2, q)
+                agreements = sum(
+                    p1(x) == p2(x) for x in range(q)
+                )
+                assert agreements <= 1
+                assert agreements == p1.agreements(p2)
+
+    def test_agreements_same_poly(self):
+        p = Poly1.from_color(8, 5)
+        assert p.agreements(p) == 5
+
+    def test_agreements_rejects_mixed_fields(self):
+        with pytest.raises(ValueError):
+            Poly1(0, 1, 5).agreements(Poly1(0, 1, 7))
+
+
+class TestLinialSets:
+    def test_set_size_is_q(self):
+        assert len(linial_set(3, 1, 7)) == 7
+
+    def test_distinct_colors_intersect_at_most_d(self):
+        d, q = 2, 11
+        base = linial_set(5, d, q)
+        for other in range(20, 60):
+            if other == 5:
+                continue
+            overlap = base & linial_set(other, d, q)
+            assert len(overlap) <= d
+
+    def test_cover_free_property(self):
+        # q > d*D ensures no set is covered by D others.
+        d, q, cover_degree = 1, 11, 5
+        target = linial_set(7, d, q)
+        rng = random.Random(0)
+        others = rng.sample(
+            [c for c in range(q * q) if c != 7], cover_degree
+        )
+        union = set()
+        for c in others:
+            union |= linial_set(c, d, q)
+        assert target - union
+
+    def test_degree_le_polynomials_bounds(self):
+        with pytest.raises(ValueError):
+            degree_le_polynomials(1000, 1, 7)
+        with pytest.raises(ValueError):
+            degree_le_polynomials(1, 1, 8)  # q not prime
+
+    def test_poly_eval_matches_horner(self):
+        coeffs = (3, 0, 2)
+        assert poly_eval(coeffs, 4, 7) == (3 + 2 * 16) % 7
+
+
+class TestGF2:
+    def test_add_is_xor(self):
+        field = GF2Field(8)
+        assert field.add(0b1010, 0b0110) == 0b1100
+
+    def test_known_aes_product(self):
+        field = GF2Field(8)
+        assert field.mul(0x53, 0xCA) == 0x01  # known inverse pair
+
+    def test_mul_identity_and_zero(self):
+        field = GF2Field(6)
+        for x in range(field.order):
+            assert field.mul(x, 1) == x
+            assert field.mul(x, 0) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_field_axioms(self, x, y, z):
+        field = GF2Field(8)
+        assert field.mul(x, y) == field.mul(y, x)
+        assert field.mul(field.mul(x, y), z) == field.mul(
+            x, field.mul(y, z)
+        )
+        assert field.mul(x, field.add(y, z)) == field.add(
+            field.mul(x, y), field.mul(x, z)
+        )
+
+    def test_inverse(self):
+        field = GF2Field(5)
+        for x in range(1, field.order):
+            assert field.mul(x, field.inv(x)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF2Field(4).inv(0)
+
+    def test_unsupported_degree(self):
+        with pytest.raises(ValueError):
+            GF2Field(64)
+
+    def test_out_of_field_element(self):
+        with pytest.raises(ValueError):
+            GF2Field(4).mul(16, 1)
+
+    def test_poly_eval_linear(self):
+        field = GF2Field(4)
+        # p(x) = 3 + 2x at x=1 -> 3 xor 2 = 1
+        assert field.poly_eval([3, 2], 1) == 1
+
+
+class TestKWise:
+    def test_seed_length(self):
+        assert KWiseCoins.seed_length(5, 8) == 40
+
+    def test_rejects_bad_seed(self):
+        with pytest.raises(ValueError):
+            KWiseCoins(2, 4, [0, 1])
+        with pytest.raises(ValueError):
+            KWiseCoins(1, 2, [0, 2])
+
+    def test_deterministic(self):
+        seed = [1, 0] * 8
+        a = KWiseCoins(4, 4, seed)
+        b = KWiseCoins(4, 4, seed)
+        assert [a.coin(x) for x in range(16)] == [
+            b.coin(x) for x in range(16)
+        ]
+
+    def test_coins_are_balanced_on_average(self):
+        rng = random.Random(1)
+        total = 0
+        trials = 300
+        for _ in range(trials):
+            coins = KWiseCoins(
+                4, 8, KWiseCoins.random_seed(4, 8, rng)
+            )
+            total += sum(coins.coin(x) for x in range(64))
+        average = total / (trials * 64)
+        assert 0.45 < average < 0.55
+
+    def test_pairwise_independence_empirical(self):
+        rng = random.Random(2)
+        agree = 0
+        trials = 600
+        for _ in range(trials):
+            coins = KWiseCoins(
+                4, 8, KWiseCoins.random_seed(4, 8, rng)
+            )
+            agree += coins.coin(3) == coins.coin(200)
+        # Independent fair coins agree with probability 1/2.
+        assert 0.4 < agree / trials < 0.6
+
+
+class TestFitting:
+    def test_perfect_linear_fit(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [2 * x + 1 for x in xs]
+        fit = fit_linear(xs, ys, "lin")
+        assert abs(fit.slope - 2) < 1e-9
+        assert abs(fit.intercept - 1) < 1e-9
+        assert fit.r_squared > 0.999
+
+    def test_predict(self):
+        fit = fit_linear([0, 1], [1, 3], "f")
+        assert abs(fit.predict(2) - 5) < 1e-9
+
+    def test_compare_models_picks_true_form(self):
+        data = [(n, 8) for n in (64, 128, 256, 512, 1024)]
+        rounds = [
+            5 * math.log(n) * math.log(8) + 3 for n, _ in data
+        ]
+        fits = compare_models(data, rounds, STANDARD_MODELS)
+        assert fits[0].name in ("log(n)*log(delta)", "log(n)")
+
+    def test_log_star(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(3.0) == "3"
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell("x") == "x"
+
+    def test_table_alignment(self):
+        table = ascii_table(
+            ["name", "value"], [["a", 1], ["bb", 22]]
+        )
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1
+        assert "name" in lines[1]
