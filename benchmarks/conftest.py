@@ -15,6 +15,23 @@ import pathlib
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def registry_specs(kind=None, distributed=None):
+    """Registered algorithm specs for registry-driven benches.
+
+    Benches that sweep "every algorithm" enumerate the registry
+    through this helper instead of keeping an import list, so a newly
+    registered algorithm is benched without touching the bench files.
+    """
+    from repro.registry import algorithms
+
+    return algorithms(kind=kind, distributed=distributed)
+
+
+def registry_ids(specs):
+    """Stable pytest parametrization ids for ``specs``."""
+    return [spec.name for spec in specs]
+
+
 def report(table):
     """Print, persist, and assert an experiment table."""
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -1,21 +1,20 @@
-"""Head-to-head comparison of every d2-coloring algorithm.
+"""Head-to-head comparison of every registered d2-coloring algorithm.
 
-Runs the centralized oracles, the baselines the paper argues against,
-and the paper's three algorithms on the same instances, and prints a
-table of rounds / colors / messages.  The Moore graphs (Petersen,
-Hoffman–Singleton) are the canonical hard inputs: their squares are
-complete, so every algorithm is forced to use the entire Δ²+1
-palette.
+Enumerates the algorithm registry (``repro.registry.ALGORITHMS``) —
+the centralized oracles, the baselines the paper argues against, and
+the paper's randomized and deterministic pipelines — runs everything
+on the same instances, and prints a table of rounds / colors /
+messages.  Registering a new algorithm adds it to this comparison
+automatically.
+
+The Moore graphs (Petersen, Hoffman–Singleton) are the canonical hard
+inputs: their squares are complete, so every algorithm is forced to
+use the entire Δ²+1 palette.
 
 Run:  python examples/compare_algorithms.py
 """
 
-from repro.baselines.greedy import dsatur_d2_coloring, greedy_d2_coloring
-from repro.baselines.naive import naive_congest_d2_color
-from repro.baselines.trial import trial_d2_color
-from repro.core.d2color import improved_d2_color
-from repro.det.det_d2color import deterministic_d2_color
-from repro.det.eps_d2coloring import eps_d2_color
+from repro import registry
 from repro.graphs.generators import random_regular
 from repro.graphs.instances import hoffman_singleton, petersen
 from repro.util.tables import ascii_table
@@ -24,36 +23,17 @@ from repro.verify.checker import check_d2_coloring
 
 def run_all(name, graph, seed=1):
     rows = []
-    algorithms = [
-        ("greedy (oracle)", lambda: greedy_d2_coloring(graph)),
-        ("dsatur (oracle)", lambda: dsatur_d2_coloring(graph)),
-        ("trial baseline", lambda: trial_d2_color(graph, seed=seed)),
-        (
-            "naive G² simulation",
-            lambda: naive_congest_d2_color(graph, seed=seed),
-        ),
-        (
-            "deterministic (Thm 1.2)",
-            lambda: deterministic_d2_color(graph),
-        ),
-        (
-            "(1+ε)Δ² det (Thm 1.3)",
-            lambda: eps_d2_color(graph, eps=0.5),
-        ),
-        (
-            "improved rand (Thm 1.1)",
-            lambda: improved_d2_color(graph, seed=seed),
-        ),
-    ]
-    for algo_name, run in algorithms:
-        result = run()
+    for spec in registry.ALGORITHMS:
+        if not spec.applicable(graph):
+            continue
+        result = spec.run(graph, seed=seed)
         ok = check_d2_coloring(
             graph, result.coloring, result.palette_size
         ).valid
         rows.append(
             [
                 name,
-                algo_name,
+                f"{spec.name} [{spec.kind}]",
                 result.rounds,
                 result.colors_used,
                 result.palette_size,

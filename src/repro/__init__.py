@@ -34,6 +34,11 @@ __all__ = [
     "deterministic_d2_color",
     "eps_d2_color",
     "check_d2_coloring",
+    # the algorithm registry and its conformance harness
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "get_algorithm",
+    "run_conformance",
 ]
 
 
@@ -55,4 +60,12 @@ def __getattr__(name):
         from repro.verify.checker import check_d2_coloring
 
         return check_d2_coloring
+    if name in ("ALGORITHMS", "AlgorithmSpec", "get_algorithm"):
+        from repro import registry
+
+        return getattr(registry, name)
+    if name == "run_conformance":
+        from repro.conformance import run_conformance
+
+        return run_conformance
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,42 @@
+"""Differential conformance harness for the algorithm registry.
+
+``repro.conformance`` states the one contract every registered
+d2-coloring algorithm must satisfy and checks it on a shared scenario
+corpus:
+
+- :mod:`repro.conformance.scenarios` — the corpus (regular, random,
+  dense, Moore-tight, degenerate, and adversarial instances);
+- :mod:`repro.conformance.runner` — the differential runner executing
+  every :data:`repro.registry.ALGORITHMS` spec on every applicable
+  scenario, validating with :mod:`repro.verify.checker` and metering
+  bandwidth via :mod:`repro.congest.metrics`.
+
+Quick sweep::
+
+    from repro.conformance import run_conformance
+
+    report = run_conformance()
+    assert report.ok, report.explain()
+"""
+
+from repro.conformance.runner import (
+    ConformanceRecord,
+    ConformanceReport,
+    coloring_fingerprint,
+    run_conformance,
+)
+from repro.conformance.scenarios import (
+    Scenario,
+    build_corpus,
+    corpus_names,
+)
+
+__all__ = [
+    "ConformanceRecord",
+    "ConformanceReport",
+    "Scenario",
+    "build_corpus",
+    "coloring_fingerprint",
+    "corpus_names",
+    "run_conformance",
+]

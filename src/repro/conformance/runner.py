@@ -1,0 +1,257 @@
+"""The differential conformance runner.
+
+Executes every registered algorithm on every applicable scenario and
+checks the shared contract:
+
+- the coloring is checker-valid (``repro.verify.checker``, which
+  recomputes distance-2 adjacency independently of the algorithms);
+- the coloring is complete and uses at most the spec's palette bound;
+- distributed runs are metered by :mod:`repro.congest.metrics`
+  against the bandwidth policy (budget recorded, zero violations when
+  the spec promises compliance, traffic actually observed);
+- differentially: algorithms must agree with the centralized oracle
+  that the instance is colorable within the common Δ²+1 budget, and
+  no distributed algorithm may use *fewer* colors than the scenario's
+  chromatic lower bound witnessed by the oracle's validity check.
+- the same seed reproduces the identical coloring (repeatability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro import registry
+from repro.congest.policy import BandwidthPolicy
+from repro.conformance.scenarios import Scenario, build_corpus
+from repro.registry import AlgorithmSpec, graph_delta
+from repro.results import ColoringResult
+from repro.util.tables import ascii_table
+from repro.verify.checker import check_d2_coloring
+
+
+def coloring_fingerprint(result: ColoringResult) -> Tuple:
+    """Canonical, comparable form of a coloring (for repeatability)."""
+    return tuple(sorted(result.coloring.items()))
+
+
+@dataclass
+class ConformanceRecord:
+    """Outcome of one (algorithm, scenario) execution."""
+
+    scenario: str
+    algorithm: str
+    colors_used: int = 0
+    palette_bound: int = 0
+    rounds: int = 0
+    messages: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def fail(self, reason: str) -> None:
+        self.failures.append(reason)
+
+
+@dataclass
+class ConformanceReport:
+    """All records of one conformance sweep."""
+
+    records: List[ConformanceRecord] = field(default_factory=list)
+    #: (scenario, algorithm) pairs skipped by the supports predicate.
+    skipped: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[ConformanceRecord]:
+        return [r for r in self.records if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def explain(self) -> str:
+        if self.ok:
+            return (
+                f"conformance ok: {len(self.records)} runs, "
+                f"{len(self.skipped)} skipped"
+            )
+        lines = [f"conformance FAILED ({len(self.failures)} records):"]
+        for record in self.failures:
+            for reason in record.failures:
+                lines.append(
+                    f"  {record.scenario} / {record.algorithm}: {reason}"
+                )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        rows = [
+            [
+                r.scenario,
+                r.algorithm,
+                r.colors_used,
+                r.palette_bound,
+                r.rounds,
+                r.messages,
+                "ok" if r.ok else "; ".join(r.failures),
+            ]
+            for r in self.records
+        ]
+        return ascii_table(
+            [
+                "scenario",
+                "algorithm",
+                "colors",
+                "bound",
+                "rounds",
+                "messages",
+                "status",
+            ],
+            rows,
+        )
+
+
+def _check_record(
+    record: ConformanceRecord,
+    spec: AlgorithmSpec,
+    graph: nx.Graph,
+    result: ColoringResult,
+    policy: BandwidthPolicy,
+    check_repeatability: bool,
+    seed: int,
+) -> None:
+    delta = graph_delta(graph)
+    bound = spec.palette_bound(delta)
+    record.colors_used = result.colors_used
+    record.palette_bound = bound
+    record.rounds = result.rounds
+    record.messages = result.metrics.total_messages
+
+    report = check_d2_coloring(graph, result.coloring, bound)
+    if not report.valid:
+        record.fail(f"checker: {report.explain()}")
+    if not result.complete:
+        record.fail("coloring incomplete (uncolored nodes)")
+    if set(result.coloring) != set(graph.nodes):
+        record.fail("coloring domain differs from node set")
+    if result.colors_used > bound:
+        record.fail(
+            f"palette bound exceeded: {result.colors_used} > {bound}"
+        )
+
+    if spec.distributed:
+        metrics = result.metrics
+        expected_budget = policy.budget_bits(graph.number_of_nodes())
+        # Zero-communication runs (e.g. Δ = 0 early exits) have no
+        # traffic to meter; otherwise the recorded budget must be the
+        # policy's.
+        if metrics.total_messages > 0 and metrics.budget_bits != expected_budget:
+            record.fail(
+                "bandwidth not metered against the policy budget "
+                f"({metrics.budget_bits} != {expected_budget})"
+            )
+        if (
+            graph.number_of_edges() > 0
+            and result.rounds > 0
+            and metrics.total_messages == 0
+        ):
+            record.fail("no traffic metered despite communication rounds")
+        if spec.expects_compliant and not metrics.compliant:
+            record.fail(
+                f"{metrics.violations} bandwidth violations "
+                f"(worst {metrics.worst_violation_bits} bits over "
+                f"budget {metrics.budget_bits})"
+            )
+
+    if check_repeatability:
+        again = spec.run(graph, seed=seed, policy=policy)
+        if coloring_fingerprint(again) != coloring_fingerprint(result):
+            record.fail("same seed produced a different coloring")
+
+
+def run_conformance(
+    specs: Optional[Sequence[AlgorithmSpec]] = None,
+    scenarios: Optional[Sequence[Scenario]] = None,
+    seed: int = 0,
+    policy: Optional[BandwidthPolicy] = None,
+    check_repeatability: bool = False,
+) -> ConformanceReport:
+    """Differentially run ``specs`` × ``scenarios`` and check them all.
+
+    Scenario graphs are built once per scenario, so every algorithm
+    sees the *same* instance — that is what makes the sweep
+    differential rather than a set of independent smoke tests.
+    """
+    # Read ALGORITHMS through the module attribute (not a frozen
+    # from-import) so specs registered after import are swept too.
+    specs = (
+        list(specs) if specs is not None else list(registry.ALGORITHMS)
+    )
+    scenarios = (
+        list(scenarios) if scenarios is not None else build_corpus()
+    )
+    policy = policy or BandwidthPolicy()
+    report = ConformanceReport()
+
+    for scenario in scenarios:
+        graph = scenario.graph(seed)
+        delta = graph_delta(graph)
+        scenario_records: List[ConformanceRecord] = []
+        for spec in specs:
+            if not spec.applicable(graph):
+                report.skipped.append((scenario.name, spec.name))
+                continue
+            record = ConformanceRecord(scenario.name, spec.name)
+            try:
+                result = spec.run(graph, seed=seed, policy=policy)
+            except Exception as exc:  # noqa: BLE001 - reported, not raised
+                record.fail(f"raised {type(exc).__name__}: {exc}")
+                report.records.append(record)
+                continue
+            _check_record(
+                record,
+                spec,
+                graph,
+                result,
+                policy,
+                check_repeatability,
+                seed,
+            )
+            scenario_records.append(record)
+            report.records.append(record)
+
+        # Differential cross-checks over the scenario's result set.
+        if scenario_records:
+            # On Moore graphs ("tight" scenarios) G² is complete, so
+            # every valid coloring is a rainbow: all algorithms must
+            # agree on exactly n colors, whatever their palette bound.
+            if "tight" in scenario.tags:
+                n = graph.number_of_nodes()
+                for record in scenario_records:
+                    if record.ok and record.colors_used != n:
+                        record.fail(
+                            "differential: Moore instance needs exactly "
+                            f"{n} colors, used {record.colors_used}"
+                        )
+            # Feasibility agreement: of the algorithms whose declared
+            # bound fits the common Δ²+1 budget, at least one must
+            # witness a coloring within it.  (Slack-palette specs are
+            # allowed to exceed it; they are no witness either way.)
+            common = delta * delta + 1
+            witnesses = [
+                r
+                for r in scenario_records
+                if r.palette_bound <= common
+            ]
+            if witnesses and min(
+                r.colors_used for r in witnesses
+            ) > common:
+                for record in witnesses:
+                    record.fail(
+                        "differential: no algorithm stayed within the "
+                        f"common Δ²+1 = {common} budget"
+                    )
+    return report

@@ -200,6 +200,112 @@ def connected_gnp(n: int, p: float, seed: int = 0, tries: int = 50) -> nx.Graph:
     return graph
 
 
+def bipartite_double(graph: nx.Graph) -> nx.Graph:
+    """Bipartite double cover of ``graph`` (tensor product with K₂).
+
+    Every node v becomes (v, 0) and (v, 1); every edge {u, v} becomes
+    {(u, 0), (v, 1)} and {(u, 1), (v, 0)}.  The cover is triangle-free
+    and bipartite while preserving degrees, so d2-neighborhoods look
+    very different from the base graph's — an adversarial transform
+    for algorithms that implicitly assume odd cycles or density.
+    """
+    base = ensure_int_labels(graph)
+    n = base.number_of_nodes()
+    double = nx.Graph()
+    double.add_nodes_from(range(2 * n))
+    for u, v in base.edges:
+        double.add_edge(u, n + v)
+        double.add_edge(v, n + u)
+    return double
+
+
+def high_girth(
+    degree: int,
+    n: int,
+    girth: int = 6,
+    seed: int = 0,
+    max_passes: int = 200,
+) -> nx.Graph:
+    """Near-regular graph with girth at least ``girth``.
+
+    Starts from a random ``degree``-regular graph and deletes one edge
+    from every remaining short cycle until none is shorter than
+    ``girth``.  High girth makes every d2-neighborhood as large as the
+    degree allows (each pair of d2-neighbors shares a *single* 2-path
+    when girth > 4) — the regime where similarity filtering and the
+    single-2-path checks of Reduce-Phase are exercised hardest.
+    """
+    graph = random_regular(degree, n, seed=seed)
+    for _ in range(max_passes):
+        shortest = _shortest_cycle_edge(graph, girth)
+        if shortest is None:
+            break
+        graph.remove_edge(*shortest)
+    return graph
+
+
+def _shortest_cycle_edge(graph: nx.Graph, girth: int):
+    """An edge on some cycle shorter than ``girth``, or None."""
+    for u, v in graph.edges:
+        # A u-v path of length <= girth-2 avoiding edge {u, v} closes
+        # a cycle of length <= girth-1.
+        graph.remove_edge(u, v)
+        try:
+            length = nx.shortest_path_length(graph, u, v)
+        except nx.NetworkXNoPath:
+            length = None
+        graph.add_edge(u, v)
+        if length is not None and length + 1 < girth:
+            return (u, v)
+    return None
+
+
+def disconnected_mix(seed: int = 0) -> nx.Graph:
+    """Disjoint union of heterogeneous components plus isolated nodes.
+
+    Components: a path, a small clique, a star, a cycle, and a couple
+    of isolated vertices.  Disconnected inputs are adversarial for
+    protocols that implicitly assume global connectivity (flooding
+    phases, termination detection).
+    """
+    rng = random.Random(seed)
+    parts = [
+        nx.path_graph(5 + rng.randrange(3)),
+        nx.complete_graph(4),
+        nx.star_graph(4 + rng.randrange(3)),
+        nx.cycle_graph(5),
+        nx.empty_graph(2),
+    ]
+    return ensure_int_labels(nx.disjoint_union_all(parts))
+
+
+def multileaf(hubs: int, leaves: int) -> nx.Graph:
+    """Self-loop-free multileaf: a hub cycle, each hub with many leaves.
+
+    ``hubs`` nodes form a cycle (an edge for hubs == 2, a single node
+    for hubs == 1) and every hub carries ``leaves`` pendant leaves.
+    Leaves of one hub are pairwise d2-adjacent *through* the hub, and
+    leaves of neighboring hubs are d2-adjacent too, so the d2-degree
+    is far above the d1-degree of most nodes — the double-star
+    lower-bound shape generalized.
+    """
+    if hubs < 1:
+        raise ValueError("need at least one hub")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(hubs))
+    if hubs == 2:
+        graph.add_edge(0, 1)
+    elif hubs > 2:
+        for i in range(hubs):
+            graph.add_edge(i, (i + 1) % hubs)
+    next_id = hubs
+    for hub in range(hubs):
+        for _ in range(leaves):
+            graph.add_edge(hub, next_id)
+            next_id += 1
+    return graph
+
+
 def with_max_degree(graph: nx.Graph, delta: int, seed: int = 0) -> nx.Graph:
     """Drop random edges until max degree <= ``delta`` (workload trim)."""
     rng = random.Random(seed)
