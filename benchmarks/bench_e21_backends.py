@@ -1,0 +1,77 @@
+"""E21 — execution backends head-to-head.
+
+Regenerates the E21 table: the round-level backends (``reference``,
+``fastpath``) must produce identical colorings and round counts on
+the large-tier scenarios, ``fastpath`` must win wall-clock on the
+largest one, and a sweep grid must aggregate byte-identically at any
+worker count.
+
+The pytest-benchmark timings below put the backend comparison in the
+benchmark history, so a regression in either engine (or a fastpath
+"optimization" that loses its lead) fails fast here rather than
+surfacing as a mystery slowdown in the experiment sweeps.
+"""
+
+import pytest
+
+from repro import registry
+from repro.conformance.scenarios import build_large_corpus
+from repro.congest.policy import BandwidthPolicy
+from repro.exec import SweepBackend, available_backends, grid_cells
+from repro.harness.experiments import e21_backends
+
+from conftest import report
+
+
+def test_e21_backends(benchmark):
+    table = benchmark.pedantic(e21_backends, iterations=1, rounds=1)
+    report(table)
+
+
+def _largest_graph():
+    graphs = (s.graph(21) for s in build_large_corpus())
+    return max(graphs, key=lambda g: g.number_of_nodes())
+
+
+@pytest.mark.parametrize("backend", ["reference", "fastpath"])
+def test_backend_wall_clock_largest_scenario(benchmark, backend):
+    """Per-backend timing on the largest corpus scenario.
+
+    The hard fastpath-beats-reference assertion lives in the E21
+    checks; these rows make the gap visible in benchmark history.
+    """
+    graph = _largest_graph()
+    spec = registry.get_algorithm("naive-g2")
+    policy = BandwidthPolicy.unbounded()
+
+    result = benchmark.pedantic(
+        lambda: spec.run(graph, seed=21, policy=policy, backend=backend),
+        iterations=1,
+        rounds=3,
+    )
+    assert result.complete
+    assert result.metrics.total_messages > 0
+
+
+def test_sweep_backend_grid_smoke(benchmark):
+    """A registry × corpus × seed grid through the process pool."""
+    assert set(available_backends()) >= {
+        "reference",
+        "fastpath",
+        "sweep",
+    }
+    cells = grid_cells(
+        specs=[
+            registry.get_algorithm(name)
+            for name in ("trial", "deterministic-d2", "greedy-oracle")
+        ],
+        seeds=(21,),
+    )
+    backend = SweepBackend(executor="process", max_workers=4)
+
+    swept = benchmark.pedantic(
+        lambda: backend.run_grid(cells), iterations=1, rounds=1
+    )
+    assert swept.ok, [c.error for c in swept.failures]
+    assert len(swept.cells) == len(cells)
+    assert swept.aggregate_metrics().total_messages > 0

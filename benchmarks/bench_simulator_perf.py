@@ -7,6 +7,7 @@ algorithms.
 """
 
 import networkx as nx
+import pytest
 
 from repro.baselines.greedy import greedy_d2_coloring
 from repro.congest.network import run_protocol
@@ -18,8 +19,9 @@ from repro.graphs.instances import hoffman_singleton
 from repro.graphs.square import square
 
 
-def test_simulator_round_throughput(benchmark):
-    """1000 nodes x 20 broadcast rounds through the executor."""
+@pytest.mark.parametrize("backend", ["reference", "fastpath"])
+def test_simulator_round_throughput(benchmark, backend):
+    """1000 nodes x 20 broadcast rounds through each round engine."""
     graph = random_regular(6, 1000, seed=1)
 
     def proto(ctx):
@@ -28,7 +30,9 @@ def test_simulator_round_throughput(benchmark):
         return None
 
     def run():
-        return run_protocol(graph, FunctionProgram.factory(proto))
+        return run_protocol(
+            graph, FunctionProgram.factory(proto), backend=backend
+        )
 
     result = benchmark(run)
     assert result.metrics.rounds == 20

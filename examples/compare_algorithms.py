@@ -11,22 +11,30 @@ The Moore graphs (Petersen, Hoffman–Singleton) are the canonical hard
 inputs: their squares are complete, so every algorithm is forced to
 use the entire Δ²+1 palette.
 
-Run:  python examples/compare_algorithms.py
+The execution engine is selectable (see docs/BACKENDS.md): pass
+``--backend fastpath`` for the metering-light engine, or
+``--workers N`` to fan the whole comparison grid across a process
+pool via the sweep backend — results are identical either way.
+
+Run:  python examples/compare_algorithms.py [--backend NAME] [--workers N]
 """
 
+import argparse
+
 from repro import registry
+from repro.exec import SweepBackend, SweepCell, available_backends
 from repro.graphs.generators import random_regular
 from repro.graphs.instances import hoffman_singleton, petersen
 from repro.util.tables import ascii_table
 from repro.verify.checker import check_d2_coloring
 
 
-def run_all(name, graph, seed=1):
+def run_all(name, graph, seed=1, backend=None):
     rows = []
     for spec in registry.ALGORITHMS:
         if not spec.applicable(graph):
             continue
-        result = spec.run(graph, seed=seed)
+        result = spec.run(graph, seed=seed, backend=backend)
         ok = check_d2_coloring(
             graph, result.coloring, result.palette_size
         ).valid
@@ -44,15 +52,80 @@ def run_all(name, graph, seed=1):
     return rows
 
 
+def run_all_swept(instances, workers, seed=1, backend=None):
+    """The same comparison, fanned out as one sweep grid."""
+    cells = []
+    graphs = {}
+    for name, graph in instances:
+        graphs[name] = graph
+        for spec in registry.ALGORITHMS:
+            if not spec.applicable(graph):
+                continue
+            cells.append(
+                SweepCell.from_graph(spec.name, name, seed, graph)
+            )
+    swept = SweepBackend(
+        executor="process",
+        max_workers=workers,
+        inner=backend or "fastpath",
+    ).run_grid(cells)
+    rows = []
+    for cell in swept.cells:
+        if not cell.ok:
+            rows.append(
+                [cell.scenario, cell.algorithm, "-", "-", "-", "-",
+                 f"ERROR {cell.error}"]
+            )
+            continue
+        spec = registry.get_algorithm(cell.algorithm)
+        ok = check_d2_coloring(
+            graphs[cell.scenario],
+            dict(cell.coloring),
+            cell.palette_size,
+        ).valid
+        rows.append(
+            [
+                cell.scenario,
+                f"{cell.algorithm} [{spec.kind}]",
+                cell.rounds,
+                cell.colors_used,
+                cell.palette_size,
+                cell.metrics.total_messages,
+                "yes" if ok else "NO",
+            ]
+        )
+    return rows
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        choices=[b for b in available_backends() if b != "sweep"],
+        default=None,
+        help="execution engine for each run (default: reference)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan the grid across N sweep workers (0: run serially)",
+    )
+    args = parser.parse_args()
+
     instances = [
         ("petersen", petersen()),
         ("hoffman-singleton", hoffman_singleton()),
         ("rr(8,64)", random_regular(8, 64, seed=4)),
     ]
-    rows = []
-    for name, graph in instances:
-        rows.extend(run_all(name, graph))
+    if args.workers > 0:
+        rows = run_all_swept(
+            instances, args.workers, backend=args.backend
+        )
+    else:
+        rows = []
+        for name, graph in instances:
+            rows.extend(run_all(name, graph, backend=args.backend))
     print(
         ascii_table(
             [

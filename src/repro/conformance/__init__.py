@@ -23,11 +23,13 @@ from repro.conformance.runner import (
     ConformanceRecord,
     ConformanceReport,
     coloring_fingerprint,
+    evaluate_pair,
     run_conformance,
 )
 from repro.conformance.scenarios import (
     Scenario,
     build_corpus,
+    build_large_corpus,
     corpus_names,
 )
 
@@ -36,7 +38,9 @@ __all__ = [
     "ConformanceReport",
     "Scenario",
     "build_corpus",
+    "build_large_corpus",
     "coloring_fingerprint",
     "corpus_names",
+    "evaluate_pair",
     "run_conformance",
 ]

@@ -48,6 +48,10 @@ class ConformanceRecord:
     rounds: int = 0
     messages: int = 0
     failures: List[str] = field(default_factory=list)
+    #: True when the run raised instead of returning a coloring; such
+    #: records carry no result and are excluded from differential
+    #: cross-checks.
+    raised: bool = False
 
     @property
     def ok(self) -> bool:
@@ -122,6 +126,7 @@ def _check_record(
     policy: BandwidthPolicy,
     check_repeatability: bool,
     seed: int,
+    backend=None,
 ) -> None:
     delta = graph_delta(graph)
     bound = spec.palette_bound(delta)
@@ -167,9 +172,112 @@ def _check_record(
             )
 
     if check_repeatability:
-        again = spec.run(graph, seed=seed, policy=policy)
+        again = spec.run(graph, seed=seed, policy=policy, backend=backend)
         if coloring_fingerprint(again) != coloring_fingerprint(result):
             record.fail("same seed produced a different coloring")
+
+
+def evaluate_pair(
+    spec: AlgorithmSpec,
+    graph: nx.Graph,
+    scenario_name: str,
+    seed: int,
+    policy: BandwidthPolicy,
+    check_repeatability: bool = False,
+    backend=None,
+) -> ConformanceRecord:
+    """Run one (algorithm, scenario) cell and check the contract."""
+    record = ConformanceRecord(scenario_name, spec.name)
+    try:
+        result = spec.run(graph, seed=seed, policy=policy, backend=backend)
+    except Exception as exc:  # noqa: BLE001 - reported, not raised
+        record.raised = True
+        record.fail(f"raised {type(exc).__name__}: {exc}")
+        return record
+    _check_record(
+        record,
+        spec,
+        graph,
+        result,
+        policy,
+        check_repeatability,
+        seed,
+        backend,
+    )
+    return record
+
+
+class _CellEvaluator:
+    """Picklable per-cell conformance worker for sweep grids.
+
+    Runs the full contract check (checker validity, palette bound,
+    metering, repeatability) *inside* the worker, so the expensive
+    part of large-instance conformance parallelizes instead of
+    serializing in the parent.
+
+    Registered specs travel by name and are re-resolved from the
+    worker's registry; ad-hoc specs (``run_conformance(specs=[...])``
+    with something never registered — a spec under development, a
+    deliberately lying spec in a test) travel by value in
+    ``extra_specs``.  Ad-hoc specs therefore work on any executor
+    whose task transport can carry them (always for ``serial`` and
+    ``thread``; for ``process`` they must be picklable).
+    """
+
+    __slots__ = ("policy", "check_repeatability", "inner", "extra_specs")
+
+    def __init__(self, policy, check_repeatability, inner, extra_specs):
+        self.policy = policy
+        self.check_repeatability = check_repeatability
+        self.inner = inner
+        self.extra_specs = extra_specs
+
+    def __call__(self, cell) -> ConformanceRecord:
+        spec = self.extra_specs.get(cell.algorithm)
+        if spec is None:
+            spec = registry.get_algorithm(cell.algorithm)
+        return evaluate_pair(
+            spec,
+            cell.graph(),
+            cell.scenario,
+            cell.seed,
+            self.policy,
+            self.check_repeatability,
+            self.inner,
+        )
+
+
+def _differential_checks(
+    scenario: Scenario,
+    n: int,
+    delta: int,
+    scenario_records: List[ConformanceRecord],
+) -> None:
+    """Cross-checks over one scenario's full result set (in place)."""
+    # On Moore graphs ("tight" scenarios) G² is complete, so every
+    # valid coloring is a rainbow: all algorithms must agree on
+    # exactly n colors, whatever their palette bound.
+    if "tight" in scenario.tags:
+        for record in scenario_records:
+            if record.ok and record.colors_used != n:
+                record.fail(
+                    "differential: Moore instance needs exactly "
+                    f"{n} colors, used {record.colors_used}"
+                )
+    # Feasibility agreement: of the algorithms whose declared bound
+    # fits the common Δ²+1 budget, at least one must witness a
+    # coloring within it.  (Slack-palette specs are allowed to exceed
+    # it; they are no witness either way.)
+    common = delta * delta + 1
+    witnesses = [
+        r for r in scenario_records if r.palette_bound <= common
+    ]
+    if witnesses and min(r.colors_used for r in witnesses) > common:
+        for record in witnesses:
+            record.fail(
+                "differential: no algorithm stayed within the "
+                f"common Δ²+1 = {common} budget"
+            )
 
 
 def run_conformance(
@@ -178,12 +286,22 @@ def run_conformance(
     seed: int = 0,
     policy: Optional[BandwidthPolicy] = None,
     check_repeatability: bool = False,
+    backend=None,
 ) -> ConformanceReport:
     """Differentially run ``specs`` × ``scenarios`` and check them all.
 
     Scenario graphs are built once per scenario, so every algorithm
     sees the *same* instance — that is what makes the sweep
     differential rather than a set of independent smoke tests.
+
+    ``backend`` selects the execution engine (see ``docs/BACKENDS.md``):
+    a round-level engine name ("reference", "fastpath") runs the usual
+    serial matrix on that engine; a
+    :class:`~repro.exec.sweep.SweepBackend` (or the name "sweep") fans
+    the whole registry × scenario grid across its worker pool, with
+    the contract checks executing inside the workers.  Reports are
+    identical either way — cells are self-contained and collected in
+    grid order.
     """
     # Read ALGORITHMS through the module attribute (not a frozen
     # from-import) so specs registered after import are swept too.
@@ -196,6 +314,54 @@ def run_conformance(
     policy = policy or BandwidthPolicy()
     report = ConformanceReport()
 
+    from repro.exec import get_backend
+    from repro.exec.sweep import SweepBackend, SweepCell
+
+    engine = get_backend(backend) if backend is not None else None
+    if isinstance(engine, SweepBackend):
+        # Grid path: build all cells up front, fan out, re-group.
+        cells = []
+        stats = {}  # scenario name -> (scenario, n, delta)
+        for scenario in scenarios:
+            graph = scenario.graph(seed)
+            stats[scenario.name] = (
+                scenario,
+                graph.number_of_nodes(),
+                graph_delta(graph),
+            )
+            for spec in specs:
+                if not spec.applicable(graph):
+                    report.skipped.append((scenario.name, spec.name))
+                    continue
+                # The evaluator carries the policy; cells stay lean.
+                cells.append(
+                    SweepCell.from_graph(
+                        spec.name, scenario.name, seed, graph
+                    )
+                )
+        extra_specs = {}
+        for spec in specs:
+            try:
+                registered = registry.get_algorithm(spec.name)
+            except KeyError:
+                registered = None
+            if registered is not spec:
+                extra_specs[spec.name] = spec
+        evaluator = _CellEvaluator(
+            policy, check_repeatability, engine.inner, extra_specs
+        )
+        report.records = engine.map(evaluator, cells)
+        by_scenario: Dict[str, List[ConformanceRecord]] = {}
+        for record in report.records:
+            if not record.raised:
+                by_scenario.setdefault(record.scenario, []).append(
+                    record
+                )
+        for name, records in by_scenario.items():
+            scenario, n, delta = stats[name]
+            _differential_checks(scenario, n, delta, records)
+        return report
+
     for scenario in scenarios:
         graph = scenario.graph(seed)
         delta = graph_delta(graph)
@@ -204,54 +370,25 @@ def run_conformance(
             if not spec.applicable(graph):
                 report.skipped.append((scenario.name, spec.name))
                 continue
-            record = ConformanceRecord(scenario.name, spec.name)
-            try:
-                result = spec.run(graph, seed=seed, policy=policy)
-            except Exception as exc:  # noqa: BLE001 - reported, not raised
-                record.fail(f"raised {type(exc).__name__}: {exc}")
-                report.records.append(record)
-                continue
-            _check_record(
-                record,
+            record = evaluate_pair(
                 spec,
                 graph,
-                result,
+                scenario.name,
+                seed,
                 policy,
                 check_repeatability,
-                seed,
+                engine,
             )
-            scenario_records.append(record)
             report.records.append(record)
+            if not record.raised:
+                scenario_records.append(record)
 
         # Differential cross-checks over the scenario's result set.
         if scenario_records:
-            # On Moore graphs ("tight" scenarios) G² is complete, so
-            # every valid coloring is a rainbow: all algorithms must
-            # agree on exactly n colors, whatever their palette bound.
-            if "tight" in scenario.tags:
-                n = graph.number_of_nodes()
-                for record in scenario_records:
-                    if record.ok and record.colors_used != n:
-                        record.fail(
-                            "differential: Moore instance needs exactly "
-                            f"{n} colors, used {record.colors_used}"
-                        )
-            # Feasibility agreement: of the algorithms whose declared
-            # bound fits the common Δ²+1 budget, at least one must
-            # witness a coloring within it.  (Slack-palette specs are
-            # allowed to exceed it; they are no witness either way.)
-            common = delta * delta + 1
-            witnesses = [
-                r
-                for r in scenario_records
-                if r.palette_bound <= common
-            ]
-            if witnesses and min(
-                r.colors_used for r in witnesses
-            ) > common:
-                for record in witnesses:
-                    record.fail(
-                        "differential: no algorithm stayed within the "
-                        f"common Δ²+1 = {common} budget"
-                    )
+            _differential_checks(
+                scenario,
+                graph.number_of_nodes(),
+                delta,
+                scenario_records,
+            )
     return report

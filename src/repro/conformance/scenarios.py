@@ -124,6 +124,54 @@ def build_corpus(extra: Sequence[Scenario] = ()) -> List[Scenario]:
     return corpus
 
 
+def build_large_corpus(extra: Sequence[Scenario] = ()) -> List[Scenario]:
+    """The ``slow``-tier corpus: the same families, n in the thousands.
+
+    These are scale-ups of the standard corpus shapes (regular,
+    sparse G(n,p), planar grid, dense clique clusters, multileaf) at
+    sizes where simulator throughput — not algorithmic subtlety — is
+    what breaks.  The tier is excluded from tier-1 runs (``slow``
+    pytest marker) and executed through the ``sweep`` backend so the
+    grid parallelizes across workers.
+    """
+    corpus = [
+        _scenario(
+            "rr4-2048",
+            lambda s: random_regular(4, 2048, seed=s),
+            "large",
+            "regular",
+        ),
+        _scenario(
+            "gnp1500-sparse",
+            lambda s: gnp(1500, 2.5 / 1500, seed=s),
+            "large",
+            "random",
+            "sparse",
+        ),
+        _scenario(
+            "grid40x50",
+            lambda s: grid(40, 50),
+            "large",
+            "planar",
+        ),
+        _scenario(
+            "cliques64x6",
+            lambda s: clique_clusters(64, 6, seed=s),
+            "large",
+            "dense",
+        ),
+        _scenario(
+            "multileaf48x40",
+            lambda s: multileaf(48, 40),
+            "large",
+            "adversarial",
+            "tree",
+        ),
+    ]
+    corpus.extend(extra)
+    return corpus
+
+
 def corpus_names(
     corpus: Optional[Sequence[Scenario]] = None,
 ) -> List[str]:

@@ -13,6 +13,12 @@ A program halts by returning; its return value becomes the node's
 output.  The run ends when every program has halted, when the optional
 ``stop_when`` monitor fires, or after ``max_rounds``.
 
+The round loop itself is pluggable: :meth:`Network.run` delegates to
+an execution backend from :mod:`repro.exec` (``reference`` by
+default; ``fastpath`` strips metering overhead on large instances).
+Backends differ only in mechanics — the delivered messages, outputs
+and round counts are identical.
+
 ``stop_when`` is a *simulation-level* convenience (it peeks at global
 state, which no CONGEST node could): it only stops the simulation
 early, e.g. once every node is colored, and is reported as such.
@@ -22,14 +28,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from types import MappingProxyType
 from typing import Any, Callable, Dict, Optional
 
 import networkx as nx
 
 from repro.congest.errors import (
     BandwidthExceededError,
-    NonterminationError,
     ProtocolViolationError,
 )
 from repro.congest.message import Broadcast, bit_size
@@ -37,8 +41,6 @@ from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.congest.node import NodeContext, NodeProgram
 from repro.congest.policy import BandwidthMode, BandwidthPolicy
 from repro.congest.rng import derive_rng
-
-_EMPTY_INBOX: Dict[int, Any] = MappingProxyType({})
 
 
 @dataclass
@@ -138,66 +140,30 @@ class Network:
         stop_when: Optional[Callable[["Network", int], bool]] = None,
         raise_on_timeout: bool = True,
         record_rounds: bool = False,
+        backend: Any = None,
     ) -> RunResult:
-        """Execute rounds until all programs halt (or stop/timeout)."""
-        metrics = RunMetrics(budget_bits=self._budget)
-        running = dict(self._generators)
-        inboxes: Dict[int, Dict[int, Any]] = {}
-        stopped_early = False
+        """Execute rounds until all programs halt (or stop/timeout).
 
-        round_index = 0
-        while running:
-            if round_index >= max_rounds:
-                if raise_on_timeout:
-                    raise NonterminationError(max_rounds, set(running))
-                break
-            if stop_when is not None and stop_when(self, round_index):
-                stopped_early = True
-                break
+        The round loop is driven by an execution backend from
+        :mod:`repro.exec`: ``backend`` may be a name ("reference",
+        "fastpath", ...) or an
+        :class:`~repro.exec.base.ExecutionBackend` instance; ``None``
+        selects the ambient backend installed by
+        :func:`repro.exec.use_backend` (default: ``reference``).  All
+        backends execute identical CONGEST semantics.
 
-            round_metrics = RoundMetrics(round_index)
-            next_inboxes: Dict[int, Dict[int, Any]] = {}
-            halted_now = []
+        ``stop_when`` is consulted before the ``max_rounds`` guard, so
+        a monitor firing on the exact final admissible round reports
+        ``stopped_early`` instead of a timeout.
+        """
+        from repro.exec import get_backend
 
-            for node, gen in running.items():
-                inbox = inboxes.get(node, _EMPTY_INBOX)
-                try:
-                    if self._started or round_index > 0:
-                        outbox = gen.send(inbox)
-                    else:
-                        outbox = gen.send(None)
-                except StopIteration as stop:
-                    self.outputs[node] = stop.value
-                    halted_now.append(node)
-                    continue
-                self._deliver(
-                    node, outbox, next_inboxes, metrics, round_metrics
-                )
-
-            # The first resume of each generator happens lazily above;
-            # after one full pass every generator has been started.
-            self._started = True
-
-            for node in halted_now:
-                del running[node]
-            inboxes = next_inboxes
-            # A trailing resume in which every remaining program halts
-            # without sending is local computation, not a communication
-            # round: a node that receives in round r and then returns
-            # has round complexity r.  (This also makes genuinely
-            # zero-round protocols report 0 rounds.)
-            if running or round_metrics.messages > 0:
-                metrics.rounds += 1
-                if record_rounds:
-                    metrics.per_round.append(round_metrics)
-            round_index += 1
-
-        return RunResult(
-            outputs=dict(self.outputs),
-            metrics=metrics,
-            halted=not running,
-            stopped_early=stopped_early,
-            programs=self.programs,
+        return get_backend(backend).execute(
+            self,
+            max_rounds=max_rounds,
+            stop_when=stop_when,
+            raise_on_timeout=raise_on_timeout,
+            record_rounds=record_rounds,
         )
 
     # ------------------------------------------------------------------
@@ -268,6 +234,7 @@ def run_protocol(
     inputs: Optional[Dict[int, Dict[str, Any]]] = None,
     max_rounds: int = 1_000_000,
     stop_when: Optional[Callable[[Network, int], bool]] = None,
+    backend: Any = None,
 ) -> RunResult:
     """One-shot convenience: build a :class:`Network` and run it."""
     network = Network(
@@ -282,6 +249,7 @@ def run_protocol(
         max_rounds=max_rounds,
         stop_when=stop_when,
         raise_on_timeout=stop_when is None,
+        backend=backend,
     )
 
 

@@ -1,0 +1,69 @@
+"""Pluggable execution backends for the CONGEST simulator.
+
+``repro.exec`` decouples *what* a run means (the lockstep CONGEST
+semantics fixed by :class:`~repro.congest.network.Network`) from *how*
+it is executed.  Three engines ship by default:
+
+``reference``
+    The original round-driven loop; semantic ground truth.
+``fastpath``
+    The same semantics with metering inlined and, under unbounded
+    policies, message sizing skipped — the engine for large instances.
+``sweep``
+    A grid executor fanning algorithm × instance × seed cells across
+    ``concurrent.futures`` workers, with deterministic aggregation.
+
+Select an engine per call (``network.run(backend="fastpath")``,
+``spec.run(graph, backend="fastpath")``) or ambiently::
+
+    from repro.exec import use_backend
+
+    with use_backend("fastpath"):
+        result = improved_d2_color(graph, seed=1)
+
+See ``docs/BACKENDS.md`` for the architecture notes.
+"""
+
+from repro.exec.base import (
+    ExecutionBackend,
+    available_backends,
+    current_backend,
+    get_backend,
+    register_backend,
+    use_backend,
+)
+from repro.exec.fastpath import FastpathBackend
+from repro.exec.reference import ReferenceBackend
+from repro.exec.sweep import (
+    CellResult,
+    SweepBackend,
+    SweepCell,
+    SweepResult,
+    grid_cells,
+    run_cell,
+)
+
+#: The default engine instances, registered in order.
+REFERENCE = register_backend(ReferenceBackend())
+FASTPATH = register_backend(FastpathBackend())
+SWEEP = register_backend(SweepBackend())
+
+__all__ = [
+    "CellResult",
+    "ExecutionBackend",
+    "FASTPATH",
+    "FastpathBackend",
+    "REFERENCE",
+    "ReferenceBackend",
+    "SWEEP",
+    "SweepBackend",
+    "SweepCell",
+    "SweepResult",
+    "available_backends",
+    "current_backend",
+    "get_backend",
+    "grid_cells",
+    "register_backend",
+    "run_cell",
+    "use_backend",
+]

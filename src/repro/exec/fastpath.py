@@ -1,0 +1,220 @@
+"""The fastpath execution backend.
+
+Same lockstep semantics as :class:`~repro.exec.reference`, executed
+with the per-round overhead stripped out of the hot loop:
+
+- metering is inlined into local accumulators — no
+  :class:`~repro.congest.metrics.RoundMetrics` object, no ``_meter``
+  /``observe`` calls per message (one ``RunMetrics`` is filled in at
+  the end of the run);
+- neighbor adjacency is preallocated once per run as plain tuples, so
+  broadcast delivery is a tight loop over a cached array instead of
+  repeated context attribute lookups;
+- under an ``UNBOUNDED`` policy there is no bit budget to check, so
+  :func:`~repro.congest.message.bit_size` — the dominant per-message
+  cost, it walks every payload recursively — is skipped entirely.
+
+Guarantees (enforced by ``tests/test_backend_equivalence.py``):
+node outputs, round counts, halting/stopping status and error
+behaviour are identical to ``reference`` for every policy.  Under
+metered policies (``STRICT``/``TRACK``) the full ``RunMetrics`` are
+bit-for-bit identical too.  The one documented deviation: under
+``UNBOUNDED`` policies message *sizes* are not measured
+(``total_bits``/``max_message_bits`` stay 0; ``total_messages``,
+``rounds`` and outputs still match) — that is the point of the fast
+path, and nothing may depend on byte metering in a policy whose
+budget is explicitly infinite.
+
+``record_rounds=True`` requests per-round metrics objects, which is
+exactly the bookkeeping this backend removes; such runs are delegated
+to ``reference``.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Any, Callable, Dict, Optional
+
+from repro.congest.errors import (
+    BandwidthExceededError,
+    NonterminationError,
+    ProtocolViolationError,
+)
+from repro.congest.message import Broadcast, bit_size
+from repro.congest.metrics import RunMetrics
+from repro.congest.policy import BandwidthMode
+from repro.exec.base import ExecutionBackend
+
+_EMPTY_INBOX: Dict[int, Any] = MappingProxyType({})
+
+
+class FastpathBackend(ExecutionBackend):
+    """Metering-light lockstep executor for large instances."""
+
+    name = "fastpath"
+
+    def execute(
+        self,
+        network,
+        *,
+        max_rounds: int = 1_000_000,
+        stop_when: Optional[Callable] = None,
+        raise_on_timeout: bool = True,
+        record_rounds: bool = False,
+    ):
+        if record_rounds:
+            from repro.exec import get_backend
+
+            return get_backend("reference").execute(
+                network,
+                max_rounds=max_rounds,
+                stop_when=stop_when,
+                raise_on_timeout=raise_on_timeout,
+                record_rounds=True,
+            )
+        from repro.congest.network import RunResult
+
+        mode = network.policy.mode
+        metered = mode is not BandwidthMode.UNBOUNDED
+        strict = mode is BandwidthMode.STRICT
+        budget = network._budget
+        # Preallocated adjacency: one tuple per node, resolved once.
+        neighbors = {
+            node: ctx.neighbors for node, ctx in network.contexts.items()
+        }
+        neighbor_sets = network._neighbor_sets
+        outputs = network.outputs
+
+        running = dict(network._generators)
+        inboxes: Dict[int, Dict[int, Any]] = {}
+        stopped_early = False
+        started = network._started
+
+        total_messages = 0
+        total_bits = 0
+        max_message_bits = 0
+        violations = 0
+        worst_violation_bits = 0
+        rounds = 0
+
+        round_index = 0
+        while running:
+            # Monitor before timeout (same order as reference): a stop
+            # condition reached on the final round is an early stop.
+            if stop_when is not None and stop_when(network, round_index):
+                stopped_early = True
+                break
+            if round_index >= max_rounds:
+                if raise_on_timeout:
+                    raise NonterminationError(max_rounds, set(running))
+                break
+
+            next_inboxes: Dict[int, Dict[int, Any]] = {}
+            halted_now = []
+            round_messages = 0
+
+            for node, gen in running.items():
+                try:
+                    if started or round_index > 0:
+                        outbox = gen.send(
+                            inboxes.get(node, _EMPTY_INBOX)
+                        )
+                    else:
+                        outbox = gen.send(None)
+                except StopIteration as stop:
+                    outputs[node] = stop.value
+                    halted_now.append(node)
+                    continue
+                if outbox is None:
+                    continue
+                if isinstance(outbox, Broadcast):
+                    payload = outbox.payload
+                    if metered:
+                        bits = bit_size(payload)
+                        total_bits += bits
+                        if bits > max_message_bits:
+                            max_message_bits = bits
+                        if bits > budget:
+                            if strict:
+                                raise BandwidthExceededError(
+                                    node, "<all>", bits, budget
+                                )
+                            violations += 1
+                            if bits > worst_violation_bits:
+                                worst_violation_bits = bits
+                    # One metered message fanned out to all neighbors
+                    # (matches reference: a broadcast counts once).
+                    total_messages += 1
+                    nbrs = neighbors[node]
+                    for receiver in nbrs:
+                        box = next_inboxes.get(receiver)
+                        if box is None:
+                            next_inboxes[receiver] = {node: payload}
+                        else:
+                            box[node] = payload
+                    round_messages += len(nbrs)
+                    continue
+                if not isinstance(outbox, dict):
+                    raise ProtocolViolationError(
+                        f"node {node} yielded "
+                        f"{type(outbox).__name__}; expected dict or "
+                        "Broadcast"
+                    )
+                if not outbox:
+                    continue
+                allowed = neighbor_sets[node]
+                for receiver, payload in outbox.items():
+                    if receiver not in allowed:
+                        raise ProtocolViolationError(
+                            f"node {node} sent to non-neighbor "
+                            f"{receiver}"
+                        )
+                    if metered:
+                        bits = bit_size(payload)
+                        total_bits += bits
+                        if bits > max_message_bits:
+                            max_message_bits = bits
+                        if bits > budget:
+                            if strict:
+                                raise BandwidthExceededError(
+                                    node, receiver, bits, budget
+                                )
+                            violations += 1
+                            if bits > worst_violation_bits:
+                                worst_violation_bits = bits
+                    total_messages += 1
+                    box = next_inboxes.get(receiver)
+                    if box is None:
+                        next_inboxes[receiver] = {node: payload}
+                    else:
+                        box[node] = payload
+                    round_messages += 1
+
+            started = True
+            network._started = True
+
+            for node in halted_now:
+                del running[node]
+            inboxes = next_inboxes
+            # Trailing halt-only resumes are local computation, not a
+            # communication round (same accounting as reference).
+            if running or round_messages > 0:
+                rounds += 1
+            round_index += 1
+
+        metrics = RunMetrics(
+            rounds=rounds,
+            total_messages=total_messages,
+            total_bits=total_bits,
+            max_message_bits=max_message_bits,
+            budget_bits=budget,
+            violations=violations,
+            worst_violation_bits=worst_violation_bits,
+        )
+        return RunResult(
+            outputs=dict(outputs),
+            metrics=metrics,
+            halted=not running,
+            stopped_early=stopped_early,
+            programs=network.programs,
+        )

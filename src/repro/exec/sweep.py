@@ -1,0 +1,319 @@
+"""The sweep execution backend: batch grids over worker pools.
+
+A *sweep* executes a grid of independent cells — algorithm × instance
+× seed — and aggregates the results.  Cells are self-contained and
+picklable (:class:`SweepCell` carries the instance as a plain
+node/edge listing, the algorithm by registry name, and the policy as
+a frozen dataclass), so the same grid runs unchanged on a serial
+loop, a thread pool, or a process pool.
+
+Determinism is a contract, not an accident: results are collected in
+*submission order* (never completion order) and each cell is seeded
+individually from its own ``seed`` field, so the same grid produces
+byte-identical aggregated results whatever the worker count or
+scheduling interleaving (property-tested in
+``tests/test_sweep_properties.py``).
+
+Single-network execution (the :class:`ExecutionBackend` duty) is
+delegated to the configured ``inner`` backend — by default
+``fastpath`` — so ``use_backend("sweep")`` is safe anywhere a
+round-level engine is expected.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import networkx as nx
+
+from repro.congest.metrics import RunMetrics
+from repro.congest.policy import BandwidthPolicy
+from repro.exec.base import ExecutionBackend
+
+#: Admissible ``executor`` values for :class:`SweepBackend`.
+EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One self-contained grid point: algorithm × instance × seed.
+
+    The instance travels as ``(nodes, edges)`` tuples rather than a
+    graph object so the cell pickles cheaply and every worker rebuilds
+    the *identical* instance (no generator re-sampling drift).
+    """
+
+    algorithm: str
+    scenario: str
+    seed: int
+    nodes: Tuple[int, ...]
+    edges: Tuple[Tuple[int, int], ...]
+    policy: Optional[BandwidthPolicy] = None
+
+    @staticmethod
+    def from_graph(
+        algorithm: str,
+        scenario: str,
+        seed: int,
+        graph: nx.Graph,
+        policy: Optional[BandwidthPolicy] = None,
+    ) -> "SweepCell":
+        return SweepCell(
+            algorithm=algorithm,
+            scenario=scenario,
+            seed=seed,
+            nodes=tuple(sorted(graph.nodes)),
+            edges=tuple(
+                sorted(tuple(sorted(e)) for e in graph.edges)
+            ),
+            policy=policy,
+        )
+
+    def graph(self) -> nx.Graph:
+        """Rebuild the instance exactly as shipped."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.nodes)
+        graph.add_edges_from(self.edges)
+        return graph
+
+    def delta(self) -> int:
+        """Maximum degree, computable without building the graph."""
+        degree: dict = {}
+        for u, v in self.edges:
+            degree[u] = degree.get(u, 0) + 1
+            degree[v] = degree.get(v, 0) + 1
+        return max(degree.values(), default=0)
+
+
+@dataclass
+class CellResult:
+    """Outcome of one executed :class:`SweepCell`."""
+
+    algorithm: str
+    scenario: str
+    seed: int
+    colors_used: int = 0
+    palette_size: int = 0
+    rounds: int = 0
+    metrics: RunMetrics = field(default_factory=RunMetrics)
+    #: Canonical coloring fingerprint: sorted ``(node, color)`` pairs.
+    coloring: Tuple[Tuple[int, Any], ...] = ()
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepResult:
+    """All cell results of one grid execution, in submission order."""
+
+    cells: List[CellResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[CellResult]:
+        return [c for c in self.cells if not c.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def aggregate_metrics(self) -> RunMetrics:
+        """Merge every cell's :class:`RunMetrics` (rounds add up)."""
+        merged = RunMetrics()
+        for cell in self.cells:
+            merged = merged.merge(cell.metrics)
+        return merged
+
+    def fingerprint(self) -> bytes:
+        """Canonical byte serialization, for determinism checks."""
+        return repr(
+            [
+                (
+                    c.algorithm,
+                    c.scenario,
+                    c.seed,
+                    c.colors_used,
+                    c.palette_size,
+                    c.rounds,
+                    c.metrics,
+                    c.coloring,
+                    c.error,
+                )
+                for c in self.cells
+            ]
+        ).encode("utf-8")
+
+
+def run_cell(cell: SweepCell, inner: str = "fastpath") -> CellResult:
+    """Execute one cell (module-level, so process pools can pickle it).
+
+    Exceptions become ``error`` fields rather than poisoning the whole
+    grid — a sweep is a survey, not an assertion.
+    """
+    from repro import registry
+
+    try:
+        spec = registry.get_algorithm(cell.algorithm)
+        graph = cell.graph()
+        result = spec.run(
+            graph, seed=cell.seed, policy=cell.policy, backend=inner
+        )
+    except Exception as exc:  # noqa: BLE001 - reported per cell
+        return CellResult(
+            algorithm=cell.algorithm,
+            scenario=cell.scenario,
+            seed=cell.seed,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return CellResult(
+        algorithm=cell.algorithm,
+        scenario=cell.scenario,
+        seed=cell.seed,
+        colors_used=result.colors_used,
+        palette_size=result.palette_size,
+        rounds=result.rounds,
+        metrics=result.metrics,
+        coloring=tuple(sorted(result.coloring.items())),
+    )
+
+
+class SweepBackend(ExecutionBackend):
+    """Grid executor over :mod:`concurrent.futures` workers.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool width (``None``: the executor's default).  ``1`` always
+        degrades to the serial loop.
+    executor:
+        ``"process"`` (default; true parallelism for the CPU-bound
+        simulator), ``"thread"`` (cheap startup, useful for small
+        grids and property tests) or ``"serial"``.
+    inner:
+        Round-level backend name workers run each cell with, and the
+        engine single ``execute`` calls delegate to.
+    """
+
+    name = "sweep"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        executor: str = "process",
+        inner: str = "fastpath",
+    ):
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}; got {executor!r}"
+            )
+        self.max_workers = max_workers
+        self.executor = executor
+        self.inner = inner
+
+    # -- round-level duty ------------------------------------------------
+
+    def execute(self, network, **kwargs):
+        """A single network run has no grid to fan out; delegate."""
+        from repro.exec.base import get_backend
+
+        return get_backend(self.inner).execute(network, **kwargs)
+
+    # -- grid execution --------------------------------------------------
+
+    def _pool(self):
+        if self.executor == "thread":
+            return concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.max_workers
+            )
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.max_workers
+        )
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+    ) -> List[Any]:
+        """Run ``fn`` over ``items``, results in submission order.
+
+        The submission-order guarantee (as opposed to completion
+        order) is what makes sweep aggregation deterministic under
+        any worker count.
+        """
+        items = list(items)
+        serial = (
+            self.executor == "serial"
+            or self.max_workers == 1
+            or len(items) <= 1
+        )
+        if serial:
+            return [fn(item) for item in items]
+        with self._pool() as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            return [future.result() for future in futures]
+
+    def run_grid(self, cells: Sequence[SweepCell]) -> SweepResult:
+        """Execute every cell and aggregate, deterministically."""
+        results = self.map(_CellRunner(self.inner), cells)
+        return SweepResult(cells=results)
+
+
+class _CellRunner:
+    """Picklable ``cell -> CellResult`` closure over the inner backend."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: str):
+        self.inner = inner
+
+    def __call__(self, cell: SweepCell) -> CellResult:
+        return run_cell(cell, inner=self.inner)
+
+
+def grid_cells(
+    specs: Optional[Sequence] = None,
+    scenarios: Optional[Sequence] = None,
+    seeds: Iterable[int] = (0,),
+    policy: Optional[BandwidthPolicy] = None,
+) -> List[SweepCell]:
+    """Build the registry × scenario × seed grid.
+
+    ``specs`` defaults to the full algorithm registry; ``scenarios``
+    (anything with ``.name`` and ``.graph(seed)``, e.g. the
+    conformance corpus) defaults to
+    :func:`repro.conformance.scenarios.build_corpus`.  Cells a spec's
+    ``supports`` predicate rejects are left out of the grid.
+    """
+    from repro import registry
+
+    if specs is None:
+        specs = list(registry.ALGORITHMS)
+    if scenarios is None:
+        from repro.conformance.scenarios import build_corpus
+
+        scenarios = build_corpus()
+    cells: List[SweepCell] = []
+    for scenario in scenarios:
+        for seed in seeds:
+            graph = scenario.graph(seed)
+            for spec in specs:
+                if not spec.applicable(graph):
+                    continue
+                cells.append(
+                    SweepCell.from_graph(
+                        spec.name, scenario.name, seed, graph, policy
+                    )
+                )
+    return cells

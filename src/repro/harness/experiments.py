@@ -795,8 +795,13 @@ def e14_crossover(
     return table
 
 
-def e15_bandwidth(seed: int = 15) -> ExperimentTable:
-    """CONGEST compliance audit across algorithms."""
+def e15_bandwidth(seed: int = 15, backend=None) -> ExperimentTable:
+    """CONGEST compliance audit across algorithms.
+
+    ``backend`` selects the execution engine for every audited run
+    (compliance must hold — and is metered identically — on any
+    metered backend).
+    """
     from repro.verify.audit import audit_bandwidth
 
     table = ExperimentTable(
@@ -821,7 +826,7 @@ def e15_bandwidth(seed: int = 15) -> ExperimentTable:
         if "heavy" in spec.tags:
             table.add_note(f"{spec.name}: skipped (tagged heavy)")
             continue
-        result = spec.run(graph, seed=seed)
+        result = spec.run(graph, seed=seed, backend=backend)
         report = audit_bandwidth(spec.name, result.metrics)
         table.add_row(*report.row())
         if spec.expects_compliant:
@@ -895,8 +900,12 @@ def e17_luby_mis(
     return table
 
 
-def e18_colors(seed: int = 18) -> ExperimentTable:
-    """Color quality across all algorithms."""
+def e18_colors(seed: int = 18, backend=None) -> ExperimentTable:
+    """Color quality across all algorithms.
+
+    ``backend`` selects the execution engine for every run; colors
+    and rounds are backend-invariant, so the table is too.
+    """
     table = ExperimentTable(
         "E18",
         "Colors used by every algorithm",
@@ -915,7 +924,7 @@ def e18_colors(seed: int = 18) -> ExperimentTable:
         for spec in registry.ALGORITHMS:
             if not spec.applicable(graph):
                 continue
-            result = spec.run(graph, seed=seed)
+            result = spec.run(graph, seed=seed, backend=backend)
             table.add_row(
                 name,
                 spec.name,
@@ -1056,7 +1065,7 @@ def e19_ablation(seed: int = 19) -> ExperimentTable:
 ALL_EXPERIMENTS["E19"] = e19_ablation
 
 
-def e20_conformance(seed: int = 20) -> ExperimentTable:
+def e20_conformance(seed: int = 20, backend=None) -> ExperimentTable:
     """Differential conformance sweep of the whole registry.
 
     Runs every registered algorithm on every scenario in the
@@ -1065,6 +1074,10 @@ def e20_conformance(seed: int = 20) -> ExperimentTable:
     spec's palette bound, metered bandwidth, and per-seed
     repeatability.  Algorithms added to the registry are swept
     automatically.
+
+    ``backend`` is forwarded to :func:`run_conformance`: pass a
+    :class:`~repro.exec.sweep.SweepBackend` (or "sweep") and the whole
+    matrix fans out across workers with identical results.
     """
     from repro.conformance import build_corpus, run_conformance
 
@@ -1078,7 +1091,10 @@ def e20_conformance(seed: int = 20) -> ExperimentTable:
     )
     corpus = build_corpus()
     report = run_conformance(
-        scenarios=corpus, seed=seed, check_repeatability=True
+        scenarios=corpus,
+        seed=seed,
+        check_repeatability=True,
+        backend=backend,
     )
     by_scenario: Dict[str, list] = {}
     for record in report.records:
@@ -1114,3 +1130,121 @@ def e20_conformance(seed: int = 20) -> ExperimentTable:
 
 
 ALL_EXPERIMENTS["E20"] = e20_conformance
+
+
+def e21_backends(
+    seed: int = 21,
+    timing_repeats: int = 3,
+    sweep_workers: int = 4,
+) -> ExperimentTable:
+    """Execution backends head-to-head (docs/BACKENDS.md).
+
+    Runs message-heavy algorithms on the large-tier scenarios under
+    every round-level backend and checks the two contracts of
+    :mod:`repro.exec`: (1) equivalence — identical colorings and
+    round counts on every backend; (2) speed — ``fastpath`` beats
+    ``reference`` wall-clock on the largest corpus scenario (best of
+    ``timing_repeats``, unbounded policy, where the fast path may
+    skip per-message sizing).  A sweep-grid determinism check (same
+    grid, 1 worker vs ``sweep_workers``) rides along.
+    """
+    import time
+
+    from repro.conformance.scenarios import build_large_corpus
+    from repro.exec import SweepBackend, grid_cells
+
+    table = ExperimentTable(
+        "E21",
+        "Execution backends head-to-head",
+        "repro.exec: identical semantics on every backend; fastpath "
+        "faster where metering is the bottleneck",
+        [
+            "scenario",
+            "n",
+            "algorithm",
+            "backend",
+            "wall ms (best)",
+            "rounds",
+            "messages",
+            "colors",
+        ],
+    )
+    policy = BandwidthPolicy.unbounded()
+    # Build each instance once; sort (scenario, graph) pairs by size.
+    built = sorted(
+        ((s, s.graph(seed)) for s in build_large_corpus()),
+        key=lambda pair: pair[1].number_of_nodes(),
+    )
+    largest = built[-1][0]
+    spec_names = ("trial", "naive-g2")
+    best: Dict[tuple, float] = {}
+    for scenario, graph in (built[0], built[-1]):
+        n = graph.number_of_nodes()
+        for spec_name in spec_names:
+            spec = registry.get_algorithm(spec_name)
+            results = {}
+            for backend in ("reference", "fastpath"):
+                walls = []
+                for _ in range(timing_repeats):
+                    t0 = time.perf_counter()
+                    result = spec.run(
+                        graph, seed=seed, policy=policy, backend=backend
+                    )
+                    walls.append(time.perf_counter() - t0)
+                results[backend] = result
+                best[(scenario.name, spec_name, backend)] = min(walls)
+                table.add_row(
+                    scenario.name,
+                    n,
+                    spec_name,
+                    backend,
+                    round(min(walls) * 1000, 1),
+                    result.rounds,
+                    result.metrics.total_messages,
+                    result.colors_used,
+                )
+            reference, fastpath = (
+                results["reference"],
+                results["fastpath"],
+            )
+            table.add_check(
+                f"{scenario.name}/{spec_name}: identical colorings",
+                reference.coloring == fastpath.coloring,
+            )
+            table.add_check(
+                f"{scenario.name}/{spec_name}: identical rounds",
+                reference.rounds == fastpath.rounds,
+            )
+    for spec_name in spec_names:
+        table.add_check(
+            f"{largest.name}/{spec_name}: fastpath beats reference "
+            "wall-clock",
+            best[(largest.name, spec_name, "fastpath")]
+            < best[(largest.name, spec_name, "reference")],
+        )
+
+    # Sweep determinism: the same grid, serial vs fanned out.
+    cells = grid_cells(
+        specs=[
+            registry.get_algorithm(name)
+            for name in ("trial", "greedy-oracle", "deterministic-d2")
+        ],
+        seeds=(seed, seed + 1),
+    )
+    one = SweepBackend(executor="serial").run_grid(cells)
+    many = SweepBackend(
+        executor="thread", max_workers=sweep_workers
+    ).run_grid(cells)
+    table.add_check(
+        f"sweep: {len(cells)}-cell grid byte-identical at 1 vs "
+        f"{sweep_workers} workers",
+        one.fingerprint() == many.fingerprint(),
+    )
+    table.add_check("sweep: all cells ran clean", one.ok and many.ok)
+    table.add_note(
+        f"sweep aggregate: {one.aggregate_metrics().summary()}"
+    )
+    return table
+
+
+ALL_EXPERIMENTS["E21"] = e21_backends

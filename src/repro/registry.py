@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import networkx as nx
 
@@ -118,9 +118,23 @@ class AlgorithmSpec:
         graph: nx.Graph,
         seed: int = 0,
         policy: Optional[BandwidthPolicy] = None,
+        backend: Any = None,
     ) -> ColoringResult:
-        """Run the algorithm with the normalized signature."""
-        return self.entry_point(graph, seed, policy)
+        """Run the algorithm with the normalized signature.
+
+        ``backend`` selects the execution engine (a name or an
+        :class:`~repro.exec.base.ExecutionBackend`) for every CONGEST
+        simulation inside the algorithm, installed ambiently via
+        :func:`repro.exec.use_backend` so multi-phase pipelines switch
+        engines without any per-phase plumbing.  ``None`` keeps the
+        caller's ambient backend (default: ``reference``).
+        """
+        if backend is None:
+            return self.entry_point(graph, seed, policy)
+        from repro.exec import use_backend
+
+        with use_backend(backend):
+            return self.entry_point(graph, seed, policy)
 
     def applicable(self, graph: nx.Graph) -> bool:
         """True when the spec supports ``graph``."""

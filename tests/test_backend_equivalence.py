@@ -1,0 +1,96 @@
+"""Cross-backend equivalence: reference vs fastpath, full registry.
+
+The execution backends promise *identical semantics*: for every
+registered algorithm on every conformance scenario with the same
+seed, ``reference`` and ``fastpath`` must produce the same coloring,
+the same round count, and — under a metered policy — bit-identical
+bandwidth metrics.  This suite is what lets every other layer treat
+``backend=`` as a pure performance knob.
+"""
+
+import pytest
+
+from repro import registry
+from repro.conformance.scenarios import build_corpus, corpus_names
+from repro.congest.policy import BandwidthPolicy
+
+SEED = 7
+
+_CORPUS = build_corpus()
+_SPECS = list(registry.ALGORITHMS)
+
+
+def _metrics_tuple(metrics):
+    return (
+        metrics.rounds,
+        metrics.total_messages,
+        metrics.total_bits,
+        metrics.max_message_bits,
+        metrics.budget_bits,
+        metrics.violations,
+        metrics.worst_violation_bits,
+    )
+
+
+@pytest.mark.conformance
+@pytest.mark.parametrize(
+    "scenario", _CORPUS, ids=corpus_names(_CORPUS)
+)
+@pytest.mark.parametrize(
+    "spec", _SPECS, ids=[s.name for s in _SPECS]
+)
+def test_reference_fastpath_equivalent(spec, scenario):
+    """Same outputs, rounds, and metered metrics on both backends."""
+    graph = scenario.graph(SEED)
+    if not spec.applicable(graph):
+        pytest.skip(f"{spec.name} does not support {scenario.name}")
+    policy = BandwidthPolicy.track()
+
+    reference = spec.run(
+        graph, seed=SEED, policy=policy, backend="reference"
+    )
+    fastpath = spec.run(
+        graph, seed=SEED, policy=policy, backend="fastpath"
+    )
+
+    assert reference.coloring == fastpath.coloring
+    assert reference.rounds == fastpath.rounds
+    assert reference.colors_used == fastpath.colors_used
+    assert reference.palette_size == fastpath.palette_size
+    if spec.distributed:
+        # TRACK is a metered policy: the fast path must meter
+        # everything the reference meters, bit for bit.
+        assert _metrics_tuple(reference.metrics) == _metrics_tuple(
+            fastpath.metrics
+        )
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [s for s in _SPECS if s.distributed],
+    ids=[s.name for s in _SPECS if s.distributed],
+)
+def test_unbounded_outputs_and_rounds_agree(spec):
+    """Under UNBOUNDED policies fastpath skips message *sizing* but
+    must still agree on everything observable: coloring, rounds, and
+    message counts."""
+    scenario = _CORPUS[0]
+    graph = scenario.graph(SEED)
+    if not spec.applicable(graph):
+        pytest.skip(f"{spec.name} does not support {scenario.name}")
+    policy = BandwidthPolicy.unbounded()
+
+    reference = spec.run(
+        graph, seed=SEED, policy=policy, backend="reference"
+    )
+    fastpath = spec.run(
+        graph, seed=SEED, policy=policy, backend="fastpath"
+    )
+
+    assert reference.coloring == fastpath.coloring
+    assert reference.rounds == fastpath.rounds
+    assert (
+        reference.metrics.total_messages
+        == fastpath.metrics.total_messages
+    )
+    assert fastpath.metrics.violations == 0

@@ -180,3 +180,32 @@ class TestDifferentialSweep:
         rendered = report.summary()
         for record in report.records:
             assert record.scenario in rendered
+
+    def test_adhoc_spec_caught_on_sweep_path_too(self):
+        """An unregistered (ad-hoc) spec must work — and still be
+        caught lying — when the matrix runs through the sweep
+        backend's worker pool, not only on the serial path."""
+        from dataclasses import replace
+
+        from repro.exec import SweepBackend
+
+        cheat = replace(
+            get_algorithm("trial-slack"),
+            name="trial-cheat",
+            palette_bound=lambda delta: delta * delta + 1,
+        )
+        scenarios = [s for s in CORPUS if s.name == "gnp24"]
+        serial = run_conformance(
+            specs=[cheat], scenarios=scenarios, seed=3
+        )
+        swept = run_conformance(
+            specs=[cheat],
+            scenarios=scenarios,
+            seed=3,
+            backend=SweepBackend(executor="thread", max_workers=4),
+        )
+        assert not serial.ok
+        assert not swept.ok
+        assert [sorted(r.failures) for r in serial.records] == [
+            sorted(r.failures) for r in swept.records
+        ]

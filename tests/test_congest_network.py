@@ -157,6 +157,88 @@ class TestTermination:
         assert result.stopped_early
 
 
+class TestStopWhenFinalRound:
+    """Regression: a monitor firing on the exact final admissible
+    round is a successful early stop, not non-termination.
+
+    The monitor is consulted *before* the ``max_rounds`` guard.  A
+    protocol whose stop condition is reached after precisely
+    ``max_rounds`` communication rounds used to be reported as timed
+    out (``NonterminationError`` / ``halted=False, stopped_early=
+    False``) even though the monitor would have confirmed success.
+    """
+
+    ROUNDS = 3
+
+    @staticmethod
+    def _proto(ctx):
+        # Exchange for exactly ROUNDS rounds — marking completion as
+        # the last message goes out, exactly like an all-colored
+        # monitor observes — then idle forever: only the monitor can
+        # end the run.
+        for i in range(TestStopWhenFinalRound.ROUNDS):
+            if i == TestStopWhenFinalRound.ROUNDS - 1:
+                ctx.data["done"] = True
+            yield {v: ("m", i) for v in ctx.neighbors}
+        while True:
+            yield {}
+
+    @staticmethod
+    def _monitor(network, round_index):
+        return all(
+            ctx.data.get("done") for ctx in network.contexts.values()
+        )
+
+    @pytest.mark.parametrize("backend", ["reference", "fastpath"])
+    def test_monitor_on_final_round_is_stopped_early(self, backend):
+        net = Network(nx.path_graph(3), proto_factory(self._proto))
+        result = net.run(
+            max_rounds=self.ROUNDS,
+            stop_when=self._monitor,
+            backend=backend,
+        )
+        assert result.stopped_early
+        assert not result.halted
+        assert result.metrics.rounds == self.ROUNDS
+
+    @pytest.mark.parametrize("backend", ["reference", "fastpath"])
+    def test_monitor_on_final_round_does_not_raise(self, backend):
+        # Even with raise_on_timeout (the default), reaching the stop
+        # condition on the final round must not raise.
+        net = Network(nx.path_graph(3), proto_factory(self._proto))
+        result = net.run(
+            max_rounds=self.ROUNDS,
+            stop_when=self._monitor,
+            raise_on_timeout=True,
+            backend=backend,
+        )
+        assert result.stopped_early
+
+    @pytest.mark.parametrize("backend", ["reference", "fastpath"])
+    def test_true_timeout_still_raises(self, backend):
+        # One round short: the monitor never fires, so the timeout
+        # must still be a timeout.
+        net = Network(nx.path_graph(3), proto_factory(self._proto))
+        with pytest.raises(NonterminationError):
+            net.run(
+                max_rounds=self.ROUNDS - 1,
+                stop_when=self._monitor,
+                backend=backend,
+            )
+
+    @pytest.mark.parametrize("backend", ["reference", "fastpath"])
+    def test_true_timeout_soft_stop_not_stopped_early(self, backend):
+        net = Network(nx.path_graph(3), proto_factory(self._proto))
+        result = net.run(
+            max_rounds=self.ROUNDS - 1,
+            stop_when=self._monitor,
+            raise_on_timeout=False,
+            backend=backend,
+        )
+        assert not result.stopped_early
+        assert not result.halted
+
+
 class TestMetering:
     def test_message_and_bit_totals(self):
         def proto(ctx):

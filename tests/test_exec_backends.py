@@ -1,0 +1,276 @@
+"""Unit tests of the execution-backend machinery (repro.exec)."""
+
+import networkx as nx
+import pytest
+
+from repro import registry
+from repro.congest.errors import (
+    BandwidthExceededError,
+    ProtocolViolationError,
+)
+from repro.congest.message import Broadcast
+from repro.congest.network import Network, run_protocol
+from repro.congest.node import FunctionProgram
+from repro.congest.policy import BandwidthPolicy
+from repro.exec import (
+    FASTPATH,
+    REFERENCE,
+    SweepBackend,
+    SweepCell,
+    available_backends,
+    current_backend,
+    get_backend,
+    grid_cells,
+    run_cell,
+    use_backend,
+)
+
+ROUND_BACKENDS = ["reference", "fastpath"]
+
+
+def proto_factory(fn):
+    return FunctionProgram.factory(fn)
+
+
+def _metrics_tuple(metrics):
+    return (
+        metrics.rounds,
+        metrics.total_messages,
+        metrics.total_bits,
+        metrics.max_message_bits,
+        metrics.budget_bits,
+        metrics.violations,
+        metrics.worst_violation_bits,
+    )
+
+
+class TestSelection:
+    def test_default_backends_registered(self):
+        assert set(available_backends()) >= {
+            "reference",
+            "fastpath",
+            "sweep",
+        }
+
+    def test_get_backend_by_name_and_instance(self):
+        assert get_backend("reference") is REFERENCE
+        assert get_backend(FASTPATH) is FASTPATH
+
+    def test_unknown_backend_lists_known_names(self):
+        with pytest.raises(KeyError, match="reference"):
+            get_backend("warp-drive")
+
+    def test_default_is_reference(self):
+        assert current_backend() is REFERENCE
+
+    def test_use_backend_nests_and_restores(self):
+        assert current_backend() is REFERENCE
+        with use_backend("fastpath"):
+            assert current_backend() is FASTPATH
+            with use_backend("reference"):
+                assert current_backend() is REFERENCE
+            assert current_backend() is FASTPATH
+        assert current_backend() is REFERENCE
+
+    def test_ambient_backend_drives_network_run(self):
+        def proto(ctx):
+            yield Broadcast(("m", ctx.node))
+            return ctx.node
+
+        graph = nx.cycle_graph(5)
+        with use_backend("fastpath"):
+            ambient = run_protocol(
+                graph, proto_factory(proto), policy=BandwidthPolicy.unbounded()
+            )
+        # The fastpath signature: unbounded runs skip bit sizing.
+        assert ambient.metrics.total_bits == 0
+        assert ambient.metrics.total_messages == 5
+
+    def test_spec_run_backend_param(self):
+        spec = registry.get_algorithm("trial")
+        graph = nx.cycle_graph(6)
+        ref = spec.run(graph, seed=2, backend="reference")
+        fast = spec.run(graph, seed=2, backend=FASTPATH)
+        assert ref.coloring == fast.coloring
+
+
+class TestFastpathParity:
+    """Behavioural parity on hand-written protocols (edge cases the
+    registry algorithms do not exercise directly)."""
+
+    @pytest.mark.parametrize("backend", ROUND_BACKENDS)
+    def test_broadcast_counts_once(self, backend):
+        def proto(ctx):
+            yield Broadcast(("b", ctx.node))
+            return None
+
+        result = run_protocol(
+            nx.star_graph(4), proto_factory(proto), backend=backend
+        )
+        # A broadcast is one metered message, fanned out to all.
+        assert result.metrics.total_messages == 5
+
+    @pytest.mark.parametrize("backend", ROUND_BACKENDS)
+    def test_strict_policy_raises(self, backend):
+        def proto(ctx):
+            yield {v: tuple(range(500)) for v in ctx.neighbors}
+            return None
+
+        with pytest.raises(BandwidthExceededError):
+            run_protocol(
+                nx.path_graph(2),
+                proto_factory(proto),
+                policy=BandwidthPolicy.strict(),
+                backend=backend,
+            )
+
+    @pytest.mark.parametrize("backend", ROUND_BACKENDS)
+    def test_non_neighbor_send_rejected(self, backend):
+        def proto(ctx):
+            yield {ctx.node + 2: ("bad",)} if ctx.node == 0 else {}
+            return None
+
+        with pytest.raises(ProtocolViolationError):
+            run_protocol(
+                nx.path_graph(4), proto_factory(proto), backend=backend
+            )
+
+    @pytest.mark.parametrize("backend", ROUND_BACKENDS)
+    def test_non_dict_outbox_rejected(self, backend):
+        def proto(ctx):
+            yield ["not", "a", "dict"]
+
+        with pytest.raises(ProtocolViolationError):
+            run_protocol(
+                nx.path_graph(2), proto_factory(proto), backend=backend
+            )
+
+    def test_track_metrics_identical(self):
+        def proto(ctx):
+            yield {v: tuple(range(300)) for v in ctx.neighbors}
+            yield Broadcast(("tiny", ctx.node))
+            return ctx.node
+
+        graph = nx.cycle_graph(6)
+        ref = run_protocol(
+            graph, proto_factory(proto), backend="reference"
+        )
+        fast = run_protocol(
+            graph, proto_factory(proto), backend="fastpath"
+        )
+        assert ref.outputs == fast.outputs
+        assert _metrics_tuple(ref.metrics) == _metrics_tuple(
+            fast.metrics
+        )
+        assert ref.metrics.violations > 0  # oversize tracked on both
+
+    def test_record_rounds_delegates_to_reference(self):
+        def proto(ctx):
+            yield {v: ("a",) for v in ctx.neighbors}
+            yield {}
+            return None
+
+        net = Network(nx.path_graph(2), proto_factory(proto))
+        result = net.run(record_rounds=True, backend="fastpath")
+        assert len(result.metrics.per_round) == result.metrics.rounds
+        assert result.metrics.per_round[0].messages == 2
+
+    @pytest.mark.parametrize("backend", ROUND_BACKENDS)
+    def test_rounds_accounting_parity(self, backend):
+        # Zero-round and trailing-local-computation accounting.
+        def zero(ctx):
+            return ctx.node
+            yield  # pragma: no cover
+
+        assert (
+            run_protocol(
+                nx.path_graph(3), proto_factory(zero), backend=backend
+            ).metrics.rounds
+            == 0
+        )
+
+        def trailing(ctx):
+            yield {v: ("m",) for v in ctx.neighbors}
+            return "out"
+
+        assert (
+            run_protocol(
+                nx.path_graph(3),
+                proto_factory(trailing),
+                backend=backend,
+            ).metrics.rounds
+            == 1
+        )
+
+
+class TestSweepBackend:
+    def _cells(self, seeds=(0,)):
+        specs = [
+            registry.get_algorithm(name)
+            for name in ("trial", "greedy-oracle")
+        ]
+        return grid_cells(specs=specs, seeds=seeds)
+
+    def test_cells_filter_unsupported(self):
+        cells = self._cells()
+        assert cells, "grid should not be empty"
+        assert all(isinstance(c, SweepCell) for c in cells)
+
+    def test_cell_roundtrip_and_delta(self):
+        graph = nx.petersen_graph()
+        cell = SweepCell.from_graph("trial", "petersen", 3, graph)
+        rebuilt = cell.graph()
+        assert sorted(rebuilt.nodes) == sorted(graph.nodes)
+        assert {tuple(sorted(e)) for e in rebuilt.edges} == {
+            tuple(sorted(e)) for e in graph.edges
+        }
+        assert cell.delta() == 3
+
+    def test_run_cell_error_capture(self):
+        cell = SweepCell(
+            algorithm="no-such-algorithm",
+            scenario="x",
+            seed=0,
+            nodes=(0, 1),
+            edges=((0, 1),),
+        )
+        result = run_cell(cell)
+        assert not result.ok
+        assert "KeyError" in result.error
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_grid_deterministic_across_executors(self, executor):
+        cells = self._cells(seeds=(0, 1))
+        baseline = SweepBackend(executor="serial").run_grid(cells)
+        swept = SweepBackend(
+            executor=executor, max_workers=4
+        ).run_grid(cells)
+        assert swept.fingerprint() == baseline.fingerprint()
+        assert swept.ok, [c.error for c in swept.failures]
+
+    def test_aggregate_metrics_merges_rounds(self):
+        swept = SweepBackend(executor="serial").run_grid(self._cells())
+        agg = swept.aggregate_metrics()
+        assert agg.rounds == sum(c.rounds for c in swept.cells)
+        assert agg.total_messages == sum(
+            c.metrics.total_messages for c in swept.cells
+        )
+
+    def test_single_network_execute_delegates_to_inner(self):
+        def proto(ctx):
+            yield Broadcast(("m", ctx.node))
+            return None
+
+        result = run_protocol(
+            nx.cycle_graph(4),
+            proto_factory(proto),
+            policy=BandwidthPolicy.unbounded(),
+            backend="sweep",
+        )
+        # Inner engine is fastpath: unbounded runs skip bit sizing.
+        assert result.metrics.total_bits == 0
+        assert result.metrics.total_messages == 4
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError):
+            SweepBackend(executor="rocket")
