@@ -2,25 +2,38 @@
 
 Regenerates the E21 table: the round-level backends (``reference``,
 ``fastpath``) must produce identical colorings and round counts on
-the large-tier scenarios, ``fastpath`` must win wall-clock on the
+the large-tier workloads, ``fastpath`` must win wall-clock on the
 largest one, and a sweep grid must aggregate byte-identically at any
 worker count.
 
-The pytest-benchmark timings below put the backend comparison in the
-benchmark history, so a regression in either engine (or a fastpath
-"optimization" that loses its lead) fails fast here rather than
-surfacing as a mystery slowdown in the experiment sweeps.
+Two trajectories are persisted for cross-PR tracking
+(``results/BENCH_e21_backends.json``): the per-backend wall-clock on
+the largest corpus workload, and the instance-cache effect on the
+sweep hot path — contract checks take the one cached G² adjacency per
+instance instead of rebuilding distance-2 adjacency per cell, which
+this bench asserts (one square build per instance, cells × specs
+sharing it) and times.
 """
+
+import time
 
 import pytest
 
 from repro import registry
-from repro.conformance.scenarios import build_large_corpus
 from repro.congest.policy import BandwidthPolicy
 from repro.exec import SweepBackend, available_backends, grid_cells
 from repro.harness.experiments import e21_backends
+from repro.verify.checker import check_d2_coloring
+from repro.workloads import (
+    build_large_corpus,
+    get_workload,
+    instance_cache,
+)
 
-from conftest import report
+from conftest import report, write_bench_json
+
+#: Collected across the tests below; the final test persists it.
+_PAYLOAD = {}
 
 
 def test_e21_backends(benchmark):
@@ -28,19 +41,21 @@ def test_e21_backends(benchmark):
     report(table)
 
 
-def _largest_graph():
-    graphs = (s.graph(21) for s in build_large_corpus())
-    return max(graphs, key=lambda g: g.number_of_nodes())
+def _largest_spec():
+    # Declared bounds make this free — no graph builds just to rank.
+    corpus = build_large_corpus()
+    return max(corpus, key=lambda s: s.n_bound or 0)
 
 
 @pytest.mark.parametrize("backend", ["reference", "fastpath"])
 def test_backend_wall_clock_largest_scenario(benchmark, backend):
-    """Per-backend timing on the largest corpus scenario.
+    """Per-backend timing on the largest corpus workload.
 
     The hard fastpath-beats-reference assertion lives in the E21
     checks; these rows make the gap visible in benchmark history.
     """
-    graph = _largest_graph()
+    workload = _largest_spec()
+    graph = instance_cache().get(workload, 21).graph()
     spec = registry.get_algorithm("naive-g2")
     policy = BandwidthPolicy.unbounded()
 
@@ -51,10 +66,17 @@ def test_backend_wall_clock_largest_scenario(benchmark, backend):
     )
     assert result.complete
     assert result.metrics.total_messages > 0
+    _PAYLOAD.setdefault("largest_scenario", {})[backend] = {
+        "workload": workload.name,
+        "n": graph.number_of_nodes(),
+        "wall_seconds": benchmark.stats.stats.min,
+        "rounds": result.rounds,
+        "messages": result.metrics.total_messages,
+    }
 
 
 def test_sweep_backend_grid_smoke(benchmark):
-    """A registry × corpus × seed grid through the process pool."""
+    """A registry × workload × seed grid through the process pool."""
     assert set(available_backends()) >= {
         "reference",
         "fastpath",
@@ -75,3 +97,91 @@ def test_sweep_backend_grid_smoke(benchmark):
     assert swept.ok, [c.error for c in swept.failures]
     assert len(swept.cells) == len(cells)
     assert swept.aggregate_metrics().total_messages > 0
+    _PAYLOAD["sweep_grid_smoke"] = {
+        "cells": len(cells),
+        "wall_seconds": benchmark.stats.stats.min,
+        "messages": swept.aggregate_metrics().total_messages,
+    }
+
+
+def test_instance_cache_removes_per_cell_square_rebuild(benchmark):
+    """The sweep hot path on the large tier: one G² derivation per
+    instance, shared by every cell's contract checks.
+
+    Before the workload cache, ``run_conformance`` recomputed
+    distance-2 adjacency per spec × scenario; now the cached instance
+    supplies it, so the square-build counter must read exactly one
+    per scenario however many specs sweep it.  The timing rows below
+    quantify what that removes from each cell.
+    """
+    from repro.conformance import run_conformance
+
+    cache = instance_cache()
+    cache.clear()
+    specs = [
+        registry.get_algorithm(name)
+        for name in (
+            "trial",
+            "deterministic-d2",
+            "greedy-oracle",
+            "dsatur-oracle",
+        )
+    ]
+    workload = get_workload("cliques64x6")  # large tier, n = 384
+
+    conformance = benchmark.pedantic(
+        lambda: run_conformance(
+            specs=specs,
+            scenarios=[workload],
+            seed=21,
+            backend=SweepBackend(executor="thread", max_workers=4),
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    assert conformance.ok, conformance.explain()
+    stats = cache.stats.snapshot()
+    # The acceptance criterion: per-cell G² rebuild is gone from the
+    # hot path — one derivation serves all four specs' checks.
+    assert stats["square_builds"] == 1, stats
+    assert len(conformance.records) == len(specs)
+
+    # Quantify the removed work: checker with the cached adjacency vs
+    # the per-cell BFS recomputation it replaced.
+    instance = cache.get(workload, 21)
+    coloring = dict(
+        registry.get_algorithm("greedy-oracle")
+        .run_on(instance)
+        .coloring
+    )
+    bound = registry.get_algorithm("greedy-oracle").bound_for(
+        instance.graph(), delta=instance.delta
+    )
+    t0 = time.perf_counter()
+    cached = check_d2_coloring(
+        instance.graph(), coloring, bound,
+        adjacency=instance.d2_adjacency(),
+    )
+    cached_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bfs = check_d2_coloring(instance.graph(), coloring, bound)
+    bfs_s = time.perf_counter() - t0
+    assert cached.valid == bfs.valid
+
+    _PAYLOAD["instance_cache_hot_path"] = {
+        "workload": workload.name,
+        "n": instance.n,
+        "specs": len(specs),
+        "square_builds": stats["square_builds"],
+        "cache_hits": stats["hits"],
+        "conformance_wall_seconds": benchmark.stats.stats.min,
+        "checker_cached_adjacency_seconds": cached_s,
+        "checker_bfs_rebuild_seconds": bfs_s,
+    }
+
+
+def test_write_bench_json():
+    """Persist the machine-readable trajectory (must run last)."""
+    assert _PAYLOAD, "timing tests did not run"
+    out = write_bench_json("e21_backends", _PAYLOAD)
+    assert out.exists()

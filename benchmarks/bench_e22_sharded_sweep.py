@@ -1,0 +1,64 @@
+"""E22 — sharded, resumable sweep execution.
+
+Regenerates the E22 table (shard-merge byte-identity at k = 1, 2, 3;
+kill-and-resume from per-cell checkpoints; instance-cache sharing
+across cells) and persists the shard wall-clock trajectory to
+``results/BENCH_e22_sharded_sweep.json`` so manifest/checkpoint
+overhead is tracked across PRs, not just printed.
+"""
+
+import time
+
+from repro import registry
+from repro.exec import SweepBackend, grid_cells, run_sharded
+from repro.harness.experiments import e22_sharded_sweep
+from repro.workloads import get_workload
+
+from conftest import report, write_bench_json
+
+
+def test_e22_sharded_sweep(benchmark):
+    table = benchmark.pedantic(
+        e22_sharded_sweep, iterations=1, rounds=1
+    )
+    report(table)
+
+
+def test_shard_overhead_trajectory(tmp_path, benchmark):
+    """Unsharded vs 3-shard wall-clock on one grid: the manifest +
+    checkpoint machinery must stay a small constant factor."""
+    cells = grid_cells(
+        specs=[
+            registry.get_algorithm(name)
+            for name in ("trial", "greedy-oracle")
+        ],
+        scenarios=[
+            get_workload(name)
+            for name in ("gnp24", "relay3x4", "powerlaw24")
+        ],
+        seeds=(22, 23),
+    )
+    t0 = time.perf_counter()
+    unsharded = SweepBackend(executor="serial").run_grid(cells)
+    unsharded_s = time.perf_counter() - t0
+
+    sharded = benchmark.pedantic(
+        lambda: run_sharded(cells, 3, str(tmp_path)),
+        iterations=1,
+        rounds=1,
+    )
+    sharded_s = benchmark.stats.stats.min
+    assert sharded.fingerprint() == unsharded.fingerprint()
+
+    write_bench_json(
+        "e22_sharded_sweep",
+        {
+            "cells": len(cells),
+            "unsharded_wall_seconds": unsharded_s,
+            "sharded_3_wall_seconds": sharded_s,
+            "aggregate_messages": (
+                sharded.aggregate_metrics().total_messages
+            ),
+            "aggregate_rounds": sharded.aggregate_metrics().rounds,
+        },
+    )

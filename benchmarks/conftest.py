@@ -6,13 +6,36 @@ are also written to ``benchmarks/results/``), and (c) hard-asserts
 the experiment's invariant checks.  Wall-clock timing via
 pytest-benchmark is secondary — the measured quantity of interest is
 CONGEST rounds, which lives in the tables.
+
+Benches that track a perf trajectory across PRs additionally write a
+machine-readable ``results/BENCH_<name>.json`` via
+:func:`write_bench_json` (wall-clock, rounds, messages — whatever the
+bench measures), so regressions diff as data, not as prose.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Any, Dict
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_bench_json(name: str, payload: Dict[str, Any]) -> pathlib.Path:
+    """Persist one bench's machine-readable results.
+
+    ``payload`` must be JSON-serializable; it lands in
+    ``benchmarks/results/BENCH_<name>.json`` (sorted keys, so diffs
+    across PRs stay minimal).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"BENCH_{name}.json"
+    out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return out
 
 
 def registry_specs(kind=None, distributed=None):

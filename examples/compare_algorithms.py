@@ -3,44 +3,53 @@
 Enumerates the algorithm registry (``repro.registry.ALGORITHMS``) —
 the centralized oracles, the baselines the paper argues against, and
 the paper's randomized and deterministic pipelines — runs everything
-on the same instances, and prints a table of rounds / colors /
+on the same workloads, and prints a table of rounds / colors /
 messages.  Registering a new algorithm adds it to this comparison
-automatically.
+automatically; so does tagging a workload ``"showcase"`` in
+``repro.workloads`` (the default set: the Moore graphs Petersen and
+Hoffman–Singleton, whose squares are complete, plus a random regular
+graph), or naming any registered workloads with ``--workloads``.
 
-The Moore graphs (Petersen, Hoffman–Singleton) are the canonical hard
-inputs: their squares are complete, so every algorithm is forced to
-use the entire Δ²+1 palette.
+Instances come from the workload cache, so the graph and its G²
+artifacts are built once however many algorithms run, and the
+validity check reuses the cached adjacency.
 
 The execution engine is selectable (see docs/BACKENDS.md): pass
 ``--backend fastpath`` for the metering-light engine, or
 ``--workers N`` to fan the whole comparison grid across a process
 pool via the sweep backend — results are identical either way.
 
-Run:  python examples/compare_algorithms.py [--backend NAME] [--workers N]
+Run:  python examples/compare_algorithms.py
+          [--backend NAME] [--workers N] [--workloads NAME ...]
 """
 
 import argparse
 
 from repro import registry
 from repro.exec import SweepBackend, SweepCell, available_backends
-from repro.graphs.generators import random_regular
-from repro.graphs.instances import hoffman_singleton, petersen
 from repro.util.tables import ascii_table
 from repro.verify.checker import check_d2_coloring
+from repro.workloads import get_workload, instance_cache, workloads
+
+SEED = 1
 
 
-def run_all(name, graph, seed=1, backend=None):
+def run_all(instance, backend=None):
     rows = []
+    graph = instance.graph()
     for spec in registry.ALGORITHMS:
         if not spec.applicable(graph):
             continue
-        result = spec.run(graph, seed=seed, backend=backend)
+        result = spec.run_on(instance, seed=SEED, backend=backend)
         ok = check_d2_coloring(
-            graph, result.coloring, result.palette_size
+            graph,
+            result.coloring,
+            result.palette_size,
+            adjacency=instance.d2_adjacency(),
         ).valid
         rows.append(
             [
-                name,
+                instance.workload,
                 f"{spec.name} [{spec.kind}]",
                 result.rounds,
                 result.colors_used,
@@ -52,17 +61,20 @@ def run_all(name, graph, seed=1, backend=None):
     return rows
 
 
-def run_all_swept(instances, workers, seed=1, backend=None):
+def run_all_swept(instances, workers, backend=None):
     """The same comparison, fanned out as one sweep grid."""
     cells = []
-    graphs = {}
-    for name, graph in instances:
-        graphs[name] = graph
+    by_name = {}
+    for instance in instances:
+        by_name[instance.workload] = instance
+        graph = instance.graph()
         for spec in registry.ALGORITHMS:
             if not spec.applicable(graph):
                 continue
             cells.append(
-                SweepCell.from_graph(spec.name, name, seed, graph)
+                SweepCell.from_workload(
+                    spec.name, instance.workload, SEED
+                )
             )
     swept = SweepBackend(
         executor="process",
@@ -78,10 +90,12 @@ def run_all_swept(instances, workers, seed=1, backend=None):
             )
             continue
         spec = registry.get_algorithm(cell.algorithm)
+        instance = by_name[cell.scenario]
         ok = check_d2_coloring(
-            graphs[cell.scenario],
+            instance.graph(),
             dict(cell.coloring),
             cell.palette_size,
+            adjacency=instance.d2_adjacency(),
         ).valid
         rows.append(
             [
@@ -111,21 +125,31 @@ def main() -> None:
         default=0,
         help="fan the grid across N sweep workers (0: run serially)",
     )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="registered workload names to compare on "
+        '(default: the "showcase"-tagged set)',
+    )
     args = parser.parse_args()
 
-    instances = [
-        ("petersen", petersen()),
-        ("hoffman-singleton", hoffman_singleton()),
-        ("rr(8,64)", random_regular(8, 64, seed=4)),
-    ]
+    if args.workloads:
+        specs = [get_workload(name) for name in args.workloads]
+    else:
+        specs = list(workloads("showcase"))
+    cache = instance_cache()
+    instances = [cache.get(spec, SEED) for spec in specs]
+
     if args.workers > 0:
         rows = run_all_swept(
             instances, args.workers, backend=args.backend
         )
     else:
         rows = []
-        for name, graph in instances:
-            rows.extend(run_all(name, graph, backend=args.backend))
+        for instance in instances:
+            rows.extend(run_all(instance, backend=args.backend))
     print(
         ascii_table(
             [

@@ -1,15 +1,18 @@
 """Differential conformance harness for the algorithm registry.
 
 ``repro.conformance`` states the one contract every registered
-d2-coloring algorithm must satisfy and checks it on a shared scenario
-corpus:
+d2-coloring algorithm must satisfy and checks it on a shared corpus:
 
-- :mod:`repro.conformance.scenarios` — the corpus (regular, random,
-  dense, Moore-tight, degenerate, and adversarial instances);
+- the corpus itself lives in :mod:`repro.workloads` (the ``"corpus"``
+  tag slice of the declarative workload registry — regular, random,
+  dense, Moore-tight, degenerate, adversarial, and the related-work
+  families); :mod:`repro.conformance.scenarios` remains as a thin
+  compatibility shim over it;
 - :mod:`repro.conformance.runner` — the differential runner executing
   every :data:`repro.registry.ALGORITHMS` spec on every applicable
-  scenario, validating with :mod:`repro.verify.checker` and metering
-  bandwidth via :mod:`repro.congest.metrics`.
+  scenario, validating with :mod:`repro.verify.checker` against the
+  cached per-instance G² adjacency and metering bandwidth via
+  :mod:`repro.congest.metrics`.
 
 Quick sweep::
 

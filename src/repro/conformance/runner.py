@@ -3,8 +3,11 @@
 Executes every registered algorithm on every applicable scenario and
 checks the shared contract:
 
-- the coloring is checker-valid (``repro.verify.checker``, which
-  recomputes distance-2 adjacency independently of the algorithms);
+- the coloring is checker-valid (``repro.verify.checker``; the
+  distance-2 adjacency comes from the workload instance cache, so G²
+  is derived once per instance instead of once per spec × scenario —
+  the checker-vs-square agreement itself is property-tested
+  independently in ``tests/test_checker_properties.py``);
 - the coloring is complete and uses at most the spec's palette bound;
 - distributed runs are metered by :mod:`repro.congest.metrics`
   against the bandwidth policy (budget recorded, zero violations when
@@ -25,16 +28,33 @@ import networkx as nx
 
 from repro import registry
 from repro.congest.policy import BandwidthPolicy
-from repro.conformance.scenarios import Scenario, build_corpus
 from repro.registry import AlgorithmSpec, graph_delta
 from repro.results import ColoringResult
 from repro.util.tables import ascii_table
 from repro.verify.checker import check_d2_coloring
+from repro.workloads import (
+    Instance,
+    WorkloadSpec,
+    build_corpus,
+    instance_cache,
+    is_registered_spec,
+)
 
 
 def coloring_fingerprint(result: ColoringResult) -> Tuple:
     """Canonical, comparable form of a coloring (for repeatability)."""
     return tuple(sorted(result.coloring.items()))
+
+
+def _scenario_instance(scenario, seed: int) -> Instance:
+    """The cached instance behind a scenario (registered workloads hit
+    the registry cache; ad-hoc scenarios are interned by content)."""
+    from repro.workloads import is_registered_spec
+
+    cache = instance_cache()
+    if is_registered_spec(scenario):
+        return cache.get(scenario, seed)
+    return cache.intern_graph(scenario.name, seed, scenario.graph(seed))
 
 
 @dataclass
@@ -127,15 +147,29 @@ def _check_record(
     check_repeatability: bool,
     seed: int,
     backend=None,
+    instance: Optional[Instance] = None,
 ) -> None:
-    delta = graph_delta(graph)
+    """Validate one run against the contract.
+
+    ``instance``, when given, supplies the cached derived artifacts
+    (Δ, the G² adjacency) so the checks reuse one computation per
+    instance instead of recomputing per spec × scenario.
+    """
+    if instance is not None:
+        delta = instance.delta
+        adjacency = instance.d2_adjacency()
+    else:
+        delta = graph_delta(graph)
+        adjacency = None
     bound = spec.palette_bound(delta)
     record.colors_used = result.colors_used
     record.palette_bound = bound
     record.rounds = result.rounds
     record.messages = result.metrics.total_messages
 
-    report = check_d2_coloring(graph, result.coloring, bound)
+    report = check_d2_coloring(
+        graph, result.coloring, bound, adjacency=adjacency
+    )
     if not report.valid:
         record.fail(f"checker: {report.explain()}")
     if not result.complete:
@@ -185,6 +219,7 @@ def evaluate_pair(
     policy: BandwidthPolicy,
     check_repeatability: bool = False,
     backend=None,
+    instance: Optional[Instance] = None,
 ) -> ConformanceRecord:
     """Run one (algorithm, scenario) cell and check the contract."""
     record = ConformanceRecord(scenario_name, spec.name)
@@ -203,6 +238,7 @@ def evaluate_pair(
         check_repeatability,
         seed,
         backend,
+        instance=instance,
     )
     return record
 
@@ -213,7 +249,10 @@ class _CellEvaluator:
     Runs the full contract check (checker validity, palette bound,
     metering, repeatability) *inside* the worker, so the expensive
     part of large-instance conformance parallelizes instead of
-    serializing in the parent.
+    serializing in the parent.  The cell's instance — including the
+    prebuilt G² adjacency shipped through the pool initializer — comes
+    from the worker's :func:`~repro.workloads.instance_cache`, so the
+    checks never recompute the square graph per cell.
 
     Registered specs travel by name and are re-resolved from the
     worker's registry; ad-hoc specs (``run_conformance(specs=[...])``
@@ -236,19 +275,21 @@ class _CellEvaluator:
         spec = self.extra_specs.get(cell.algorithm)
         if spec is None:
             spec = registry.get_algorithm(cell.algorithm)
+        instance = cell.instance()
         return evaluate_pair(
             spec,
-            cell.graph(),
+            instance.graph(),
             cell.scenario,
             cell.seed,
             self.policy,
             self.check_repeatability,
             self.inner,
+            instance=instance,
         )
 
 
 def _differential_checks(
-    scenario: Scenario,
+    scenario,
     n: int,
     delta: int,
     scenario_records: List[ConformanceRecord],
@@ -282,7 +323,7 @@ def _differential_checks(
 
 def run_conformance(
     specs: Optional[Sequence[AlgorithmSpec]] = None,
-    scenarios: Optional[Sequence[Scenario]] = None,
+    scenarios: Optional[Sequence[WorkloadSpec]] = None,
     seed: int = 0,
     policy: Optional[BandwidthPolicy] = None,
     check_repeatability: bool = False,
@@ -290,16 +331,19 @@ def run_conformance(
 ) -> ConformanceReport:
     """Differentially run ``specs`` × ``scenarios`` and check them all.
 
-    Scenario graphs are built once per scenario, so every algorithm
-    sees the *same* instance — that is what makes the sweep
-    differential rather than a set of independent smoke tests.
+    Scenario instances come from the workload cache, built once per
+    scenario with their derived artifacts (Δ, G² adjacency) shared by
+    every algorithm — that is what makes the sweep differential
+    rather than a set of independent smoke tests, and what keeps the
+    contract checks off the per-cell G²-rebuild path.
 
     ``backend`` selects the execution engine (see ``docs/BACKENDS.md``):
     a round-level engine name ("reference", "fastpath") runs the usual
     serial matrix on that engine; a
     :class:`~repro.exec.sweep.SweepBackend` (or the name "sweep") fans
-    the whole registry × scenario grid across its worker pool, with
-    the contract checks executing inside the workers.  Reports are
+    the whole registry × scenario grid across its worker pool — with
+    the contract checks executing inside the workers, against prebuilt
+    instances shipped through the pool initializer.  Reports are
     identical either way — cells are self-contained and collected in
     grid order.
     """
@@ -321,24 +365,44 @@ def run_conformance(
     if isinstance(engine, SweepBackend):
         # Grid path: build all cells up front, fan out, re-group.
         cells = []
+        instances = []
         stats = {}  # scenario name -> (scenario, n, delta)
         for scenario in scenarios:
-            graph = scenario.graph(seed)
+            instance = _scenario_instance(scenario, seed)
+            # Prewarm the expensive artifacts once, in the parent, so
+            # process workers receive them prebuilt.
+            instance.d2_adjacency()
+            instances.append(instance)
+            graph = instance.graph()
             stats[scenario.name] = (
                 scenario,
-                graph.number_of_nodes(),
-                graph_delta(graph),
+                instance.n,
+                instance.delta,
             )
             for spec in specs:
                 if not spec.applicable(graph):
                     report.skipped.append((scenario.name, spec.name))
                     continue
-                # The evaluator carries the policy; cells stay lean.
-                cells.append(
-                    SweepCell.from_graph(
-                        spec.name, scenario.name, seed, graph
+                # The evaluator carries the policy; cells stay lean:
+                # workload-keyed when registered (resolved through
+                # the worker cache seeded with the prebuilt
+                # instances), payload-carrying otherwise.
+                if is_registered_spec(scenario):
+                    cells.append(
+                        SweepCell.from_workload(
+                            spec.name, scenario.name, seed
+                        )
                     )
-                )
+                else:
+                    cells.append(
+                        SweepCell(
+                            algorithm=spec.name,
+                            scenario=scenario.name,
+                            seed=seed,
+                            nodes=instance.nodes,
+                            edges=instance.edges,
+                        )
+                    )
         extra_specs = {}
         for spec in specs:
             try:
@@ -350,7 +414,7 @@ def run_conformance(
         evaluator = _CellEvaluator(
             policy, check_repeatability, engine.inner, extra_specs
         )
-        report.records = engine.map(evaluator, cells)
+        report.records = engine.map(evaluator, cells, instances=instances)
         by_scenario: Dict[str, List[ConformanceRecord]] = {}
         for record in report.records:
             if not record.raised:
@@ -363,8 +427,9 @@ def run_conformance(
         return report
 
     for scenario in scenarios:
-        graph = scenario.graph(seed)
-        delta = graph_delta(graph)
+        instance = _scenario_instance(scenario, seed)
+        graph = instance.graph()
+        delta = instance.delta
         scenario_records: List[ConformanceRecord] = []
         for spec in specs:
             if not spec.applicable(graph):
@@ -378,6 +443,7 @@ def run_conformance(
                 policy,
                 check_repeatability,
                 engine,
+                instance=instance,
             )
             report.records.append(record)
             if not record.raised:
@@ -387,7 +453,7 @@ def run_conformance(
         if scenario_records:
             _differential_checks(
                 scenario,
-                graph.number_of_nodes(),
+                instance.n,
                 delta,
                 scenario_records,
             )

@@ -1,179 +1,50 @@
-"""The conformance scenario corpus.
+"""Compatibility shim: the scenario corpus now lives in
+:mod:`repro.workloads`.
 
-A :class:`Scenario` is a named, seedable graph family instance.  The
-corpus covers the regimes the paper cares about (regular, G(n,p),
-dense clique clusters, Moore graphs where the Δ²+1 bound is tight)
-plus the degenerate and adversarial shapes where implementations
-usually break: paths, stars, edgeless graphs, bipartite double
-covers, high-girth near-regular graphs, disconnected unions, and
-multileaf hubs.
+A "scenario" was a named, seedable graph family instance; that concept
+has been absorbed into the declarative workload registry
+(:class:`repro.workloads.WorkloadSpec`), which adds frozen parameter
+points, family/tag filtering, declared n/Δ bounds, and the
+content-addressed instance cache.  This module keeps the historical
+import surface working:
 
-Every graph is small enough that the full registry × corpus product
-runs in seconds — the corpus is a correctness net, not a benchmark.
+- ``Scenario(name, build, tags)`` builds an (unregistered) ad-hoc
+  spec from a bare ``seed -> graph`` callable;
+- :func:`build_corpus` / :func:`build_large_corpus` /
+  :func:`corpus_names` return the ``"corpus"`` / ``"large"`` tag
+  slices of the registry.
+
+New code should import from :mod:`repro.workloads` directly (see
+docs/WORKLOADS.md).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, FrozenSet, List, Optional, Sequence
+from typing import Any, Callable, FrozenSet
 
 import networkx as nx
 
-from repro.graphs.generators import (
-    bipartite_double,
-    clique_clusters,
-    disconnected_mix,
-    double_star,
-    gnp,
-    grid,
-    high_girth,
-    multileaf,
-    random_regular,
+from repro.workloads import WorkloadSpec, adhoc
+from repro.workloads.corpus import (
+    build_corpus,
+    build_large_corpus,
+    corpus_names,
 )
-from repro.graphs.instances import cycle5, petersen
+
+__all__ = [
+    "Scenario",
+    "WorkloadSpec",
+    "build_corpus",
+    "build_large_corpus",
+    "corpus_names",
+]
 
 
-@dataclass(frozen=True)
-class Scenario:
-    """One named conformance input family."""
-
-    name: str
-    #: ``seed -> graph`` (deterministic in the seed).
-    build: Callable[[int], nx.Graph]
-    #: Free-form labels ("degenerate", "adversarial", "dense", ...).
-    tags: FrozenSet[str]
-
-    def graph(self, seed: int = 0) -> nx.Graph:
-        return self.build(seed)
-
-
-def _scenario(name: str, build, *tags: str) -> Scenario:
-    return Scenario(name=name, build=build, tags=frozenset(tags))
-
-
-def build_corpus(extra: Sequence[Scenario] = ()) -> List[Scenario]:
-    """The standard corpus, optionally extended with ``extra``.
-
-    Builders take the conformance seed so that randomized families
-    re-sample under different seeds while staying reproducible.
-    """
-    corpus = [
-        # -- degenerate shapes ------------------------------------------
-        _scenario(
-            "path16", lambda s: nx.path_graph(16), "degenerate", "sparse"
-        ),
-        _scenario(
-            "star13", lambda s: nx.star_graph(12), "degenerate", "tree"
-        ),
-        _scenario(
-            "singleton", lambda s: nx.empty_graph(1), "degenerate"
-        ),
-        _scenario(
-            "edgeless8",
-            lambda s: nx.empty_graph(8),
-            "degenerate",
-            "disconnected",
-        ),
-        _scenario(
-            "double-star6", lambda s: double_star(6), "degenerate", "tree"
-        ),
-        # -- the paper's core regimes -----------------------------------
-        _scenario("cycle5", lambda s: cycle5(), "moore", "tight"),
-        _scenario("petersen", lambda s: petersen(), "moore", "tight"),
-        _scenario(
-            "rr4_24",
-            lambda s: random_regular(4, 24, seed=s),
-            "regular",
-        ),
-        _scenario(
-            "gnp24", lambda s: gnp(24, 0.18, seed=s), "random"
-        ),
-        _scenario(
-            "cliques3x4",
-            lambda s: clique_clusters(3, 4, seed=s),
-            "dense",
-        ),
-        _scenario("grid4x5", lambda s: grid(4, 5), "planar"),
-        # -- adversarial shapes -----------------------------------------
-        _scenario(
-            "bipartite-double-petersen",
-            lambda s: bipartite_double(petersen()),
-            "adversarial",
-            "bipartite",
-        ),
-        _scenario(
-            "high-girth3_24",
-            lambda s: high_girth(3, 24, girth=6, seed=s),
-            "adversarial",
-            "sparse",
-        ),
-        _scenario(
-            "disconnected-mix",
-            lambda s: disconnected_mix(seed=s),
-            "adversarial",
-            "disconnected",
-        ),
-        _scenario(
-            "multileaf4x5",
-            lambda s: multileaf(4, 5),
-            "adversarial",
-            "tree",
-        ),
-    ]
-    corpus.extend(extra)
-    return corpus
-
-
-def build_large_corpus(extra: Sequence[Scenario] = ()) -> List[Scenario]:
-    """The ``slow``-tier corpus: the same families, n in the thousands.
-
-    These are scale-ups of the standard corpus shapes (regular,
-    sparse G(n,p), planar grid, dense clique clusters, multileaf) at
-    sizes where simulator throughput — not algorithmic subtlety — is
-    what breaks.  The tier is excluded from tier-1 runs (``slow``
-    pytest marker) and executed through the ``sweep`` backend so the
-    grid parallelizes across workers.
-    """
-    corpus = [
-        _scenario(
-            "rr4-2048",
-            lambda s: random_regular(4, 2048, seed=s),
-            "large",
-            "regular",
-        ),
-        _scenario(
-            "gnp1500-sparse",
-            lambda s: gnp(1500, 2.5 / 1500, seed=s),
-            "large",
-            "random",
-            "sparse",
-        ),
-        _scenario(
-            "grid40x50",
-            lambda s: grid(40, 50),
-            "large",
-            "planar",
-        ),
-        _scenario(
-            "cliques64x6",
-            lambda s: clique_clusters(64, 6, seed=s),
-            "large",
-            "dense",
-        ),
-        _scenario(
-            "multileaf48x40",
-            lambda s: multileaf(48, 40),
-            "large",
-            "adversarial",
-            "tree",
-        ),
-    ]
-    corpus.extend(extra)
-    return corpus
-
-
-def corpus_names(
-    corpus: Optional[Sequence[Scenario]] = None,
-) -> List[str]:
-    """Names in corpus order (stable pytest parametrization ids)."""
-    return [s.name for s in (corpus or build_corpus())]
+def Scenario(  # noqa: N802 - historical class name, now a factory
+    name: str,
+    build: Callable[[int], nx.Graph],
+    tags: FrozenSet[str] = frozenset(),
+    **_ignored: Any,
+) -> WorkloadSpec:
+    """Wrap a bare builder as a :class:`WorkloadSpec` (old API)."""
+    return adhoc(name, build, tags)

@@ -12,6 +12,14 @@ it is executed.  Three engines ship by default:
 ``sweep``
     A grid executor fanning algorithm × instance × seed cells across
     ``concurrent.futures`` workers, with deterministic aggregation.
+    Cells reference workloads by key; prebuilt instances (graph, Δ,
+    G² adjacency from :mod:`repro.workloads`) ship to process workers
+    through the pool initializer.
+
+Grids also compile to *shard manifests* (:mod:`repro.exec.shards`):
+deterministic JSON, independently runnable and resumable shards with
+per-cell checkpoints, and a merge that is byte-identical to the
+unsharded run.
 
 Select an engine per call (``network.run(backend="fastpath")``,
 ``spec.run(graph, backend="fastpath")``) or ambiently::
@@ -34,12 +42,22 @@ from repro.exec.base import (
 )
 from repro.exec.fastpath import FastpathBackend
 from repro.exec.reference import ReferenceBackend
+from repro.exec.shards import (
+    ShardIncompleteError,
+    ShardManifest,
+    compile_manifest,
+    merge_shards,
+    run_shard,
+    run_sharded,
+    shard_status,
+)
 from repro.exec.sweep import (
     CellResult,
     SweepBackend,
     SweepCell,
     SweepResult,
     grid_cells,
+    prebuild_instances,
     run_cell,
 )
 
@@ -56,14 +74,22 @@ __all__ = [
     "REFERENCE",
     "ReferenceBackend",
     "SWEEP",
+    "ShardIncompleteError",
+    "ShardManifest",
     "SweepBackend",
     "SweepCell",
     "SweepResult",
     "available_backends",
+    "compile_manifest",
     "current_backend",
     "get_backend",
     "grid_cells",
+    "merge_shards",
+    "prebuild_instances",
     "register_backend",
     "run_cell",
+    "run_shard",
+    "run_sharded",
+    "shard_status",
     "use_backend",
 ]

@@ -1,0 +1,474 @@
+"""Sharded, resumable sweep execution.
+
+A grid of :class:`~repro.exec.sweep.SweepCell` compiles to a
+deterministic *shard manifest* — a JSON document fixing the cell list
+(in submission order), the round-level engine, and a round-robin
+assignment of cells to ``num_shards`` shards.  Each shard then runs
+independently: in this process, in a pool, or on a second host pointed
+at the same manifest file.  Completed cells are checkpointed one JSON
+line at a time, so a killed shard resumes from its checkpoint without
+recomputing finished cells, and :func:`merge_shards` reassembles the
+:class:`~repro.exec.sweep.SweepResult` in manifest order — byte-
+identical (``fingerprint()`` and aggregate metrics) to an unsharded
+run of the same grid.
+
+Layout on disk::
+
+    <dir>/manifest.json      the compiled grid (see MANIFEST_VERSION)
+    <dir>/shard_<i>.jsonl    one completed CellResult per line
+
+Workload-keyed cells serialize as their key, so a manifest stays small
+even for huge instances — any host with the same code resolves the
+key through :mod:`repro.workloads` and its instance cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.policy import BandwidthMode, BandwidthPolicy
+from repro.exec.sweep import (
+    CellResult,
+    SweepCell,
+    SweepResult,
+    prebuild_instances,
+    run_cell,
+)
+
+MANIFEST_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+class ShardIncompleteError(RuntimeError):
+    """Raised by :func:`merge_shards` when checkpoints are missing
+    results for some manifest cells."""
+
+
+# ----------------------------------------------------------------------
+# JSON codecs (lossless: merge must be byte-identical to unsharded)
+
+
+def policy_to_json(policy: Optional[BandwidthPolicy]) -> Optional[Dict]:
+    if policy is None:
+        return None
+    return {
+        "mode": policy.mode.value,
+        "beta": policy.beta,
+        "min_bits": policy.min_bits,
+    }
+
+
+def policy_from_json(data: Optional[Dict]) -> Optional[BandwidthPolicy]:
+    if data is None:
+        return None
+    return BandwidthPolicy(
+        mode=BandwidthMode(data["mode"]),
+        beta=data["beta"],
+        min_bits=data["min_bits"],
+    )
+
+
+def cell_to_json(cell: SweepCell) -> Dict:
+    data: Dict[str, Any] = {
+        "algorithm": cell.algorithm,
+        "scenario": cell.scenario,
+        "seed": cell.seed,
+        "policy": policy_to_json(cell.policy),
+    }
+    if cell.workload is not None:
+        data["workload"] = cell.workload
+    else:
+        data["nodes"] = list(cell.nodes)
+        data["edges"] = [list(e) for e in cell.edges]
+    return data
+
+
+def cell_from_json(data: Dict) -> SweepCell:
+    return SweepCell(
+        algorithm=data["algorithm"],
+        scenario=data["scenario"],
+        seed=data["seed"],
+        nodes=tuple(data.get("nodes", ())),
+        edges=tuple(tuple(e) for e in data.get("edges", ())),
+        policy=policy_from_json(data.get("policy")),
+        workload=data.get("workload"),
+    )
+
+
+def _metrics_to_json(metrics: RunMetrics) -> Dict:
+    return {
+        "rounds": metrics.rounds,
+        "total_messages": metrics.total_messages,
+        "total_bits": metrics.total_bits,
+        "max_message_bits": metrics.max_message_bits,
+        "budget_bits": metrics.budget_bits,
+        "violations": metrics.violations,
+        "worst_violation_bits": metrics.worst_violation_bits,
+        "per_round": [
+            {
+                "round_index": r.round_index,
+                "messages": r.messages,
+                "bits": r.bits,
+                "max_message_bits": r.max_message_bits,
+            }
+            for r in metrics.per_round
+        ],
+    }
+
+
+def _metrics_from_json(data: Dict) -> RunMetrics:
+    return RunMetrics(
+        rounds=data["rounds"],
+        total_messages=data["total_messages"],
+        total_bits=data["total_bits"],
+        max_message_bits=data["max_message_bits"],
+        budget_bits=data["budget_bits"],
+        violations=data["violations"],
+        worst_violation_bits=data["worst_violation_bits"],
+        per_round=[
+            RoundMetrics(
+                round_index=r["round_index"],
+                messages=r["messages"],
+                bits=r["bits"],
+                max_message_bits=r["max_message_bits"],
+            )
+            for r in data["per_round"]
+        ],
+    )
+
+
+def result_to_json(result: CellResult) -> Dict:
+    return {
+        "algorithm": result.algorithm,
+        "scenario": result.scenario,
+        "seed": result.seed,
+        "colors_used": result.colors_used,
+        "palette_size": result.palette_size,
+        "rounds": result.rounds,
+        "metrics": _metrics_to_json(result.metrics),
+        "coloring": [list(pair) for pair in result.coloring],
+        "error": result.error,
+    }
+
+
+def result_from_json(data: Dict) -> CellResult:
+    return CellResult(
+        algorithm=data["algorithm"],
+        scenario=data["scenario"],
+        seed=data["seed"],
+        colors_used=data["colors_used"],
+        palette_size=data["palette_size"],
+        rounds=data["rounds"],
+        metrics=_metrics_from_json(data["metrics"]),
+        coloring=tuple(tuple(pair) for pair in data["coloring"]),
+        error=data["error"],
+    )
+
+
+# ----------------------------------------------------------------------
+# the manifest
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """A compiled grid: cell list (submission order), shard count,
+    round-robin assignment, and the inner engine — everything a second
+    process (or host) needs to run its share and merge."""
+
+    num_shards: int
+    inner: str
+    cells: Tuple[SweepCell, ...]
+    grid_digest: str
+
+    def shard_indices(self, shard: int) -> List[int]:
+        """Manifest-order cell indices owned by ``shard``
+        (round-robin, so shards stay balanced whatever the grid
+        ordering)."""
+        self._validate_shard(shard)
+        return list(range(shard, len(self.cells), self.num_shards))
+
+    def shard_cells(self, shard: int) -> List[Tuple[int, SweepCell]]:
+        """``(manifest index, cell)`` pairs owned by ``shard``."""
+        return [(i, self.cells[i]) for i in self.shard_indices(shard)]
+
+    def _validate_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard must be in 0..{self.num_shards - 1}; got {shard}"
+            )
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> Dict:
+        return {
+            "version": MANIFEST_VERSION,
+            "num_shards": self.num_shards,
+            "inner": self.inner,
+            "grid_digest": self.grid_digest,
+            "cells": [cell_to_json(cell) for cell in self.cells],
+        }
+
+    def save(self, path: str) -> str:
+        """Write the manifest (under ``path`` if it is a directory)."""
+        if os.path.isdir(path):
+            path = os.path.join(path, MANIFEST_NAME)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, separators=(",", ":"))
+            handle.write("\n")
+        return path
+
+    @staticmethod
+    def load(path: str) -> "ShardManifest":
+        if os.path.isdir(path):
+            path = os.path.join(path, MANIFEST_NAME)
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {data.get('version')!r}"
+            )
+        cells = tuple(cell_from_json(c) for c in data["cells"])
+        manifest = ShardManifest(
+            num_shards=data["num_shards"],
+            inner=data["inner"],
+            cells=cells,
+            grid_digest=data["grid_digest"],
+        )
+        if grid_digest(cells) != data["grid_digest"]:
+            raise ValueError(
+                "manifest digest mismatch: cell list was modified"
+            )
+        return manifest
+
+
+def grid_digest(cells: Sequence[SweepCell]) -> str:
+    """Deterministic content address of a cell list (order matters:
+    submission order is part of the grid identity)."""
+    import hashlib
+
+    payload = json.dumps(
+        [cell_to_json(cell) for cell in cells], separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def compile_manifest(
+    cells: Sequence[SweepCell],
+    num_shards: int,
+    inner: str = "fastpath",
+) -> ShardManifest:
+    """Compile a grid into a deterministic shard manifest."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    cells = tuple(cells)
+    return ShardManifest(
+        num_shards=num_shards,
+        inner=inner,
+        cells=cells,
+        grid_digest=grid_digest(cells),
+    )
+
+
+# ----------------------------------------------------------------------
+# shard execution with checkpointing
+
+
+def checkpoint_path(checkpoint_dir: str, shard: int) -> str:
+    return os.path.join(checkpoint_dir, f"shard_{shard}.jsonl")
+
+
+def _read_checkpoint(
+    path: str, grid_digest: str
+) -> Tuple[Dict[int, CellResult], bool]:
+    """Completed ``{manifest index: result}`` from a shard checkpoint,
+    plus whether any line was damaged or foreign.
+
+    Every record is stamped with the manifest's grid digest; records
+    from a *different* grid (a stale checkpoint left in a reused
+    directory) are discarded like damaged ones, so they can never be
+    merged into the wrong grid's result.  Tolerates a truncated
+    trailing line (the signature of a kill mid-write): the damaged
+    record is dropped and recomputed on resume.
+    """
+    done: Dict[int, CellResult] = {}
+    damaged = False
+    if not os.path.exists(path):
+        return done, damaged
+    with open(path, "r", encoding="utf-8") as handle:
+        content = handle.read()
+    if content and not content.endswith("\n"):
+        damaged = True
+    for line in content.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            if record["grid"] != grid_digest:
+                damaged = True
+                continue
+            done[record["index"]] = result_from_json(record["result"])
+        except (ValueError, KeyError, TypeError):
+            damaged = True
+            continue
+    return done, damaged
+
+
+def _checkpoint_record(
+    index: int, result: CellResult, grid_digest: str
+) -> str:
+    record = {
+        "index": index,
+        "grid": grid_digest,
+        "result": result_to_json(result),
+    }
+    return json.dumps(record, separators=(",", ":"))
+
+
+def _repair_checkpoint(
+    path: str, done: Dict[int, CellResult], grid_digest: str
+) -> None:
+    """Rewrite a damaged checkpoint to only this grid's valid
+    records, so a resume never appends onto a torn line and stale
+    foreign records are purged (atomic via rename)."""
+    tmp = path + ".repair"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        for index in sorted(done):
+            handle.write(
+                _checkpoint_record(index, done[index], grid_digest)
+            )
+            handle.write("\n")
+    os.replace(tmp, path)
+
+
+@dataclass
+class ShardRun:
+    """Outcome of one :func:`run_shard` invocation."""
+
+    shard: int
+    total: int
+    resumed: int
+    executed: int
+
+    @property
+    def complete(self) -> bool:
+        return self.resumed + self.executed == self.total
+
+
+def run_shard(
+    manifest: ShardManifest,
+    shard: int,
+    checkpoint_dir: str,
+    max_cells: Optional[int] = None,
+) -> ShardRun:
+    """Execute (or resume) one shard, checkpointing per cell.
+
+    Already-checkpointed cells are skipped, so re-invoking after a
+    kill completes the shard without recomputing finished work.
+    ``max_cells`` bounds how many *new* cells run this invocation —
+    the hook the resume tests (and incremental schedulers) use to
+    stop a shard mid-flight cleanly.
+    """
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    path = checkpoint_path(checkpoint_dir, shard)
+    done, damaged = _read_checkpoint(path, manifest.grid_digest)
+    if damaged:
+        _repair_checkpoint(path, done, manifest.grid_digest)
+    owned = manifest.shard_cells(shard)
+    pending = [(i, cell) for i, cell in owned if i not in done]
+    # One build per referenced instance, shared by every pending cell.
+    prebuild_instances([cell for _, cell in pending])
+    executed = 0
+    with open(path, "a", encoding="utf-8") as handle:
+        for index, cell in pending:
+            if max_cells is not None and executed >= max_cells:
+                break
+            result = run_cell(cell, inner=manifest.inner)
+            handle.write(
+                _checkpoint_record(
+                    index, result, manifest.grid_digest
+                )
+            )
+            handle.write("\n")
+            handle.flush()
+            executed += 1
+    return ShardRun(
+        shard=shard,
+        total=len(owned),
+        resumed=len(done),
+        executed=executed,
+    )
+
+
+def shard_status(
+    manifest: ShardManifest, checkpoint_dir: str
+) -> List[Tuple[int, int, int]]:
+    """``(shard, done, total)`` per shard, from the checkpoints."""
+    status = []
+    for shard in range(manifest.num_shards):
+        done, _ = _read_checkpoint(
+            checkpoint_path(checkpoint_dir, shard),
+            manifest.grid_digest,
+        )
+        owned = manifest.shard_indices(shard)
+        status.append(
+            (shard, sum(1 for i in owned if i in done), len(owned))
+        )
+    return status
+
+
+def merge_shards(
+    manifest: ShardManifest, checkpoint_dir: str
+) -> SweepResult:
+    """Reassemble the grid's :class:`SweepResult` in manifest order.
+
+    Raises :class:`ShardIncompleteError` (listing the missing cells)
+    unless every manifest cell has a checkpointed result — a partial
+    merge would silently change aggregate metrics.
+    """
+    results: Dict[int, CellResult] = {}
+    for shard in range(manifest.num_shards):
+        done, _ = _read_checkpoint(
+            checkpoint_path(checkpoint_dir, shard),
+            manifest.grid_digest,
+        )
+        for index in manifest.shard_indices(shard):
+            if index in done:
+                results[index] = done[index]
+    missing = [
+        i for i in range(len(manifest.cells)) if i not in results
+    ]
+    if missing:
+        raise ShardIncompleteError(
+            f"{len(missing)} of {len(manifest.cells)} cells have no "
+            f"checkpointed result (first missing: {missing[:5]}); "
+            "run the remaining shards before merging"
+        )
+    return SweepResult(
+        cells=[results[i] for i in range(len(manifest.cells))]
+    )
+
+
+def run_sharded(
+    cells: Sequence[SweepCell],
+    num_shards: int,
+    checkpoint_dir: str,
+    inner: str = "fastpath",
+) -> SweepResult:
+    """Convenience: compile, persist, run every shard here, merge.
+
+    Multi-host runs instead call :func:`compile_manifest` +
+    ``manifest.save`` once, then :func:`run_shard` per host, then
+    :func:`merge_shards` anywhere.
+    """
+    manifest = compile_manifest(cells, num_shards, inner=inner)
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    manifest.save(checkpoint_dir)
+    for shard in range(num_shards):
+        run_shard(manifest, shard, checkpoint_dir)
+    return merge_shards(manifest, checkpoint_dir)

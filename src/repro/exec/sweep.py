@@ -2,17 +2,26 @@
 
 A *sweep* executes a grid of independent cells — algorithm × instance
 × seed — and aggregates the results.  Cells are self-contained and
-picklable (:class:`SweepCell` carries the instance as a plain
-node/edge listing, the algorithm by registry name, and the policy as
-a frozen dataclass), so the same grid runs unchanged on a serial
-loop, a thread pool, or a process pool.
+picklable: the algorithm travels by registry name, the policy as a
+frozen dataclass, and the instance either as a *workload key*
+(resolved through :mod:`repro.workloads` and its content-addressed
+:class:`~repro.workloads.cache.InstanceCache`) or, for ad-hoc graphs,
+as a plain node/edge listing.  The same grid runs unchanged on a
+serial loop, a thread pool, a process pool — or sharded across hosts
+through :mod:`repro.exec.shards`.
+
+Workload-keyed cells are the fast path: the parent prebuilds each
+referenced instance once (graph, Δ, and — when a caller prewarms it —
+the G² adjacency) and process-pool workers receive the prebuilt
+artifact through the pool initializer instead of rebuilding per cell.
 
 Determinism is a contract, not an accident: results are collected in
 *submission order* (never completion order) and each cell is seeded
 individually from its own ``seed`` field, so the same grid produces
 byte-identical aggregated results whatever the worker count or
 scheduling interleaving (property-tested in
-``tests/test_sweep_properties.py``).
+``tests/test_sweep_properties.py``; shard-merge equivalence in
+``tests/test_sweep_shards.py``).
 
 Single-network execution (the :class:`ExecutionBackend` duty) is
 delegated to the configured ``inner`` backend — by default
@@ -48,17 +57,24 @@ EXECUTORS = ("serial", "thread", "process")
 class SweepCell:
     """One self-contained grid point: algorithm × instance × seed.
 
-    The instance travels as ``(nodes, edges)`` tuples rather than a
-    graph object so the cell pickles cheaply and every worker rebuilds
-    the *identical* instance (no generator re-sampling drift).
+    The instance is referenced by ``workload`` key when it comes from
+    the workload registry — workers resolve it through the shared
+    :class:`~repro.workloads.cache.InstanceCache`, so one build serves
+    every cell of the same (workload, seed) — and travels as
+    ``(nodes, edges)`` tuples otherwise (ad-hoc graphs), so the cell
+    pickles cheaply and every worker rebuilds the *identical* instance
+    (no generator re-sampling drift).
     """
 
     algorithm: str
     scenario: str
     seed: int
-    nodes: Tuple[int, ...]
-    edges: Tuple[Tuple[int, int], ...]
+    nodes: Tuple[int, ...] = ()
+    edges: Tuple[Tuple[int, int], ...] = ()
     policy: Optional[BandwidthPolicy] = None
+    #: Workload registry key; when set, ``nodes``/``edges`` stay empty
+    #: and the instance resolves through the cache.
+    workload: Optional[str] = None
 
     @staticmethod
     def from_graph(
@@ -79,20 +95,42 @@ class SweepCell:
             policy=policy,
         )
 
+    @staticmethod
+    def from_workload(
+        algorithm: str,
+        workload: str,
+        seed: int,
+        policy: Optional[BandwidthPolicy] = None,
+    ) -> "SweepCell":
+        """A cell referencing a registered workload by key."""
+        return SweepCell(
+            algorithm=algorithm,
+            scenario=workload,
+            seed=seed,
+            policy=policy,
+            workload=workload,
+        )
+
+    def instance(self):
+        """The cached :class:`~repro.workloads.cache.Instance` backing
+        this cell (workload-keyed cells hit the registry cache; ad-hoc
+        payloads are interned by content digest)."""
+        from repro.workloads import instance_cache
+
+        cache = instance_cache()
+        if self.workload is not None:
+            return cache.get(self.workload, self.seed)
+        return cache.intern(
+            self.scenario, self.seed, self.nodes, self.edges
+        )
+
     def graph(self) -> nx.Graph:
-        """Rebuild the instance exactly as shipped."""
-        graph = nx.Graph()
-        graph.add_nodes_from(self.nodes)
-        graph.add_edges_from(self.edges)
-        return graph
+        """The instance graph, shared through the cache."""
+        return self.instance().graph()
 
     def delta(self) -> int:
-        """Maximum degree, computable without building the graph."""
-        degree: dict = {}
-        for u, v in self.edges:
-            degree[u] = degree.get(u, 0) + 1
-            degree[v] = degree.get(v, 0) + 1
-        return max(degree.values(), default=0)
+        """Maximum degree (from the cached instance artifact)."""
+        return self.instance().delta
 
 
 @dataclass
@@ -189,6 +227,38 @@ def run_cell(cell: SweepCell, inner: str = "fastpath") -> CellResult:
     )
 
 
+def prebuild_instances(
+    cells: Sequence[SweepCell], prewarm_square: bool = False
+) -> List:
+    """Build (once, via the cache) every instance a grid references.
+
+    Returns the distinct :class:`~repro.workloads.cache.Instance`
+    objects in first-reference order — the payload
+    :meth:`SweepBackend.map` ships to process-pool workers.  With
+    ``prewarm_square`` the G² adjacency is computed in the parent too,
+    so workers never rebuild it (the conformance contract checks are
+    the consumer).
+    """
+    seen = {}
+    for cell in cells:
+        # Workload-keyed and ad-hoc cells live in separate dedup
+        # namespaces: an ad-hoc scenario sharing a workload's name
+        # must not shadow (or be shadowed by) the workload instance.
+        if cell.workload is not None:
+            key = ("workload", cell.workload, cell.seed)
+        else:
+            key = ("adhoc", cell.scenario, cell.seed, cell.nodes, cell.edges)
+        if key in seen:
+            continue
+        seen[key] = cell.instance()
+    instances = list(seen.values())
+    for instance in instances:
+        instance.delta  # noqa: B018 - memoize before pickling
+        if prewarm_square:
+            instance.d2_adjacency()
+    return instances
+
+
 class SweepBackend(ExecutionBackend):
     """Grid executor over :mod:`concurrent.futures` workers.
 
@@ -232,10 +302,19 @@ class SweepBackend(ExecutionBackend):
 
     # -- grid execution --------------------------------------------------
 
-    def _pool(self):
+    def _pool(self, instances: Sequence = ()):
         if self.executor == "thread":
+            # Threads share the parent's cache; nothing to ship.
             return concurrent.futures.ThreadPoolExecutor(
                 max_workers=self.max_workers
+            )
+        if instances:
+            from repro.workloads import install_prebuilt
+
+            return concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=install_prebuilt,
+                initargs=(list(instances),),
             )
         return concurrent.futures.ProcessPoolExecutor(
             max_workers=self.max_workers
@@ -245,12 +324,15 @@ class SweepBackend(ExecutionBackend):
         self,
         fn: Callable[[Any], Any],
         items: Sequence[Any],
+        instances: Sequence = (),
     ) -> List[Any]:
         """Run ``fn`` over ``items``, results in submission order.
 
         The submission-order guarantee (as opposed to completion
         order) is what makes sweep aggregation deterministic under
-        any worker count.
+        any worker count.  ``instances`` are prebuilt workload
+        instances (see :func:`prebuild_instances`) installed into each
+        process worker's cache before the first cell runs.
         """
         items = list(items)
         serial = (
@@ -260,13 +342,27 @@ class SweepBackend(ExecutionBackend):
         )
         if serial:
             return [fn(item) for item in items]
-        with self._pool() as pool:
+        with self._pool(instances) as pool:
             futures = [pool.submit(fn, item) for item in items]
             return [future.result() for future in futures]
 
-    def run_grid(self, cells: Sequence[SweepCell]) -> SweepResult:
-        """Execute every cell and aggregate, deterministically."""
-        results = self.map(_CellRunner(self.inner), cells)
+    def run_grid(
+        self,
+        cells: Sequence[SweepCell],
+        prewarm_square: bool = False,
+    ) -> SweepResult:
+        """Execute every cell and aggregate, deterministically.
+
+        Instances referenced by the grid are prebuilt once in the
+        parent and shared with the workers (shipped prebuilt for
+        process pools; via the common cache otherwise).
+        """
+        instances = prebuild_instances(
+            cells, prewarm_square=prewarm_square
+        )
+        results = self.map(
+            _CellRunner(self.inner), cells, instances=instances
+        )
         return SweepResult(cells=results)
 
 
@@ -288,32 +384,47 @@ def grid_cells(
     seeds: Iterable[int] = (0,),
     policy: Optional[BandwidthPolicy] = None,
 ) -> List[SweepCell]:
-    """Build the registry × scenario × seed grid.
+    """Build the registry × workload × seed grid.
 
     ``specs`` defaults to the full algorithm registry; ``scenarios``
-    (anything with ``.name`` and ``.graph(seed)``, e.g. the
-    conformance corpus) defaults to
-    :func:`repro.conformance.scenarios.build_corpus`.  Cells a spec's
-    ``supports`` predicate rejects are left out of the grid.
+    (anything with ``.name`` and ``.graph(seed)`` — workload specs,
+    or ad-hoc scenario objects) defaults to
+    :func:`repro.workloads.build_corpus`.  Registered workloads yield
+    workload-keyed cells (cache-shared instances); ad-hoc scenarios
+    embed their node/edge payload.  Cells a spec's ``supports``
+    predicate rejects are left out of the grid.
     """
     from repro import registry
+    from repro.workloads import instance_cache, is_registered_spec
 
     if specs is None:
         specs = list(registry.ALGORITHMS)
     if scenarios is None:
-        from repro.conformance.scenarios import build_corpus
+        from repro.workloads import build_corpus
 
         scenarios = build_corpus()
     cells: List[SweepCell] = []
+    cache = instance_cache()
     for scenario in scenarios:
+        registered = is_registered_spec(scenario)
         for seed in seeds:
-            graph = scenario.graph(seed)
+            if registered:
+                graph = cache.get(scenario, seed).graph()
+            else:
+                graph = scenario.graph(seed)
             for spec in specs:
                 if not spec.applicable(graph):
                     continue
-                cells.append(
-                    SweepCell.from_graph(
-                        spec.name, scenario.name, seed, graph, policy
+                if registered:
+                    cells.append(
+                        SweepCell.from_workload(
+                            spec.name, scenario.name, seed, policy
+                        )
                     )
-                )
+                else:
+                    cells.append(
+                        SweepCell.from_graph(
+                            spec.name, scenario.name, seed, graph, policy
+                        )
+                    )
     return cells

@@ -1,5 +1,16 @@
-"""Graph substrate: squares, sparsity/slack/leeway, generators, instances."""
+"""Graph substrate: squares, sparsity/slack/leeway, generators, instances.
 
+Graph *workloads* (named, parameterized, cached instances of these
+generators) live one level up in :mod:`repro.workloads`.
+"""
+
+from repro.graphs.generators import (
+    congested_relay,
+    power_law,
+    sampling_palette_graph,
+    virtualized_clique,
+    weighted_gnp,
+)
 from repro.graphs.properties import (
     leeway,
     slack,
@@ -16,12 +27,17 @@ from repro.graphs.square import (
 
 __all__ = [
     "common_d2_neighbors",
+    "congested_relay",
     "d2_degree",
     "d2_neighbors",
     "leeway",
     "max_d2_degree",
+    "power_law",
+    "sampling_palette_graph",
     "slack",
     "solid_nodes",
     "sparsity",
     "square",
+    "virtualized_clique",
+    "weighted_gnp",
 ]

@@ -306,6 +306,143 @@ def multileaf(hubs: int, leaves: int) -> nx.Graph:
     return graph
 
 
+def power_law(
+    n: int,
+    attach: int = 2,
+    triangle_p: float = 0.1,
+    seed: int = 0,
+) -> nx.Graph:
+    """Power-law degree graph (Holme–Kim preferential attachment).
+
+    Heavy-tailed degrees give a few hubs whose d2-neighborhoods span
+    most of the graph while the long tail stays sparse — the skewed
+    regime the uniform families (regular, G(n,p)) never produce.
+    """
+    if n <= attach:
+        raise ValueError("n must exceed the attachment count")
+    graph = nx.powerlaw_cluster_graph(n, attach, triangle_p, seed=seed)
+    return ensure_int_labels(graph)
+
+
+def weighted_gnp(
+    n: int,
+    p: float,
+    seed: int = 0,
+    max_weight: int = 16,
+) -> nx.Graph:
+    """G(n, p) with integer edge weights in ``1..max_weight``.
+
+    The structure (and therefore the coloring problem) is exactly
+    :func:`gnp`; the ``weight`` attribute models per-link cost for
+    traffic-aware sweeps.  Weights are drawn from a seed-derived
+    stream so the same seed reproduces both topology and weights.
+    """
+    graph = gnp(n, p, seed=seed)
+    rng = random.Random(seed ^ 0x9E3779B9)
+    for u, v in sorted(graph.edges):
+        graph.edges[u, v]["weight"] = rng.randint(1, max_weight)
+    return graph
+
+
+def congested_relay(
+    num_cliques: int,
+    clique_size: int,
+    relays: int = 1,
+    seed: int = 0,
+) -> nx.Graph:
+    """Cliques whose inter-clique connectivity routes through a few
+    relay nodes (Flin, Halldórsson & Nolin 2023, *Fast Coloring
+    Despite Congested Relays*).
+
+    Each relay attaches to one seed-chosen port node per clique, so
+    ports of different cliques are d2-adjacent *only* through relays:
+    every cross-clique constraint competes for the relays' O(log n)
+    bandwidth — the congestion regime the 2023 paper targets.
+    Cliques are nodes ``0 .. num_cliques*clique_size - 1``; relays
+    follow.
+    """
+    if num_cliques < 1 or clique_size < 1:
+        raise ValueError("need at least one clique of at least one node")
+    if relays < 1:
+        raise ValueError("need at least one relay")
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    members = []
+    next_id = 0
+    for _ in range(num_cliques):
+        nodes = list(range(next_id, next_id + clique_size))
+        next_id += clique_size
+        members.append(nodes)
+        graph.add_nodes_from(nodes)
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                graph.add_edge(u, v)
+    for _ in range(relays):
+        relay = next_id
+        next_id += 1
+        graph.add_node(relay)
+        for nodes in members:
+            graph.add_edge(relay, rng.choice(nodes))
+    return graph
+
+
+def virtualized_clique(
+    virtual_nodes: int,
+    parts: int = 2,
+    seed: int = 0,
+) -> nx.Graph:
+    """A clique on *virtual* nodes, each virtualized over ``parts``
+    physical nodes (the cluster-graph shape of the 2023 relay paper).
+
+    Virtual node ``i`` is the physical path ``i*parts ..
+    (i+1)*parts - 1``; every virtual edge {i, j} lands between one
+    seed-chosen physical part of ``i`` and one of ``j``.  The virtual
+    topology is K_{virtual_nodes} but no physical node sees it whole,
+    so protocols must coordinate across the parts.
+    """
+    if virtual_nodes < 1 or parts < 1:
+        raise ValueError("need at least one virtual node and one part")
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    for i in range(virtual_nodes):
+        base = i * parts
+        graph.add_node(base)
+        for offset in range(1, parts):
+            graph.add_edge(base + offset - 1, base + offset)
+    for i in range(virtual_nodes):
+        for j in range(i + 1, virtual_nodes):
+            u = i * parts + rng.randrange(parts)
+            v = j * parts + rng.randrange(parts)
+            graph.add_edge(u, v)
+    return graph
+
+
+def sampling_palette_graph(
+    n: int,
+    degree: int = 4,
+    chords: int = 8,
+    seed: int = 0,
+) -> nx.Graph:
+    """Sparse near-regular graph with a sprinkling of random chords —
+    the color-sampling regime (Halldórsson & Nolin 2021, *Superfast
+    Coloring in CONGEST via Efficient Color Sampling*).
+
+    d2-degrees stay far below the Δ²+1 palette, so random color
+    sampling succeeds with high probability in O(1) tries per node;
+    workload specs built on this family carry a ``palette_slack``
+    parameter recording the intended palette/d2-degree ratio.
+    """
+    graph = random_regular(degree, n, seed=seed)
+    rng = random.Random(seed ^ 0x5DEECE66)
+    size = graph.number_of_nodes()
+    for _ in range(chords):
+        u = rng.randrange(size)
+        v = rng.randrange(size)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
 def with_max_degree(graph: nx.Graph, delta: int, seed: int = 0) -> nx.Graph:
     """Drop random edges until max degree <= ``delta`` (workload trim)."""
     rng = random.Random(seed)

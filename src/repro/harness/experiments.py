@@ -1248,3 +1248,135 @@ def e21_backends(
 
 
 ALL_EXPERIMENTS["E21"] = e21_backends
+
+
+def e22_sharded_sweep(
+    seed: int = 22,
+    num_shards: int = 3,
+    checkpoint_dir: Optional[str] = None,
+) -> ExperimentTable:
+    """Sharded, resumable sweep execution (docs/WORKLOADS.md).
+
+    Compiles a registry × workload grid to a shard manifest and
+    checks the three contracts of :mod:`repro.exec.shards`:
+    (1) *equivalence* — the grid split into 1, 2, and ``num_shards``
+    shards merges byte-identically (``SweepResult.fingerprint()`` and
+    aggregate metrics) to the unsharded run; (2) *resumability* — a
+    shard killed mid-flight completes from its per-cell checkpoint
+    without recomputing finished cells; (3) *cache sharing* — the
+    instance cache builds each referenced (workload, seed) instance
+    exactly once for the whole grid, not once per cell.
+    """
+    import os
+    import tempfile
+    import time
+
+    from repro.exec import (
+        SweepBackend,
+        compile_manifest,
+        grid_cells,
+        merge_shards,
+        run_shard,
+        run_sharded,
+    )
+    from repro.workloads import InstanceCache, get_workload
+
+    table = ExperimentTable(
+        "E22",
+        "Sharded, resumable sweeps",
+        "repro.exec.shards: a grid compiles to a deterministic shard "
+        "manifest; shards run independently, checkpoint per cell, "
+        "and merge byte-identically to the unsharded run",
+        ["shards", "cells", "resumed", "executed", "wall ms", "merge"],
+    )
+    specs = [
+        registry.get_algorithm(name)
+        for name in ("trial", "deterministic-d2", "greedy-oracle")
+    ]
+    corpus = [
+        get_workload(name)
+        for name in (
+            "gnp24",
+            "relay3x4",
+            "powerlaw24",
+            "sampling-slack24",
+            "petersen",
+        )
+    ]
+    cells = grid_cells(
+        specs=specs, scenarios=corpus, seeds=(seed, seed + 1)
+    )
+    unsharded = SweepBackend(executor="serial").run_grid(cells)
+    fingerprint = unsharded.fingerprint()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = checkpoint_dir or tmp
+        for k in (1, 2, num_shards):
+            shard_dir = os.path.join(base, f"k{k}")
+            t0 = time.perf_counter()
+            merged = run_sharded(cells, k, shard_dir)
+            wall = (time.perf_counter() - t0) * 1000
+            identical = merged.fingerprint() == fingerprint
+            table.add_row(
+                k, len(cells), 0, len(cells), round(wall, 1),
+                "identical" if identical else "DIVERGED",
+            )
+            table.add_check(
+                f"{k}-shard merge byte-identical to unsharded",
+                identical,
+            )
+            table.add_check(
+                f"{k}-shard aggregate metrics identical",
+                repr(merged.aggregate_metrics())
+                == repr(unsharded.aggregate_metrics()),
+            )
+
+        # Kill one shard after 3 cells, then resume it.
+        resume_dir = os.path.join(base, "resume")
+        manifest = compile_manifest(cells, 2)
+        os.makedirs(resume_dir, exist_ok=True)
+        manifest.save(resume_dir)
+        partial = run_shard(manifest, 0, resume_dir, max_cells=3)
+        resumed = run_shard(manifest, 0, resume_dir)
+        run_shard(manifest, 1, resume_dir)
+        merged = merge_shards(manifest, resume_dir)
+        table.add_row(
+            "2 (kill+resume)",
+            len(cells),
+            resumed.resumed,
+            partial.executed + resumed.executed,
+            "-",
+            "identical"
+            if merged.fingerprint() == fingerprint
+            else "DIVERGED",
+        )
+        table.add_check(
+            "killed shard resumed from checkpoint "
+            f"(skipped {resumed.resumed} finished cells)",
+            resumed.resumed == partial.executed == 3,
+        )
+        table.add_check(
+            "resumed merge byte-identical to unsharded",
+            merged.fingerprint() == fingerprint,
+        )
+
+    # Cache sharing: one instance build per (workload, seed), however
+    # many algorithm cells reference it.
+    cache = InstanceCache()
+    for cell in cells:
+        cache.get(cell.workload, cell.seed)
+    distinct = len({(c.workload, c.seed) for c in cells})
+    table.add_check(
+        f"instance cache: {len(cells)} cells share {distinct} builds",
+        cache.stats.builds == distinct
+        and cache.stats.hits == len(cells) - distinct,
+    )
+    table.add_note(
+        f"grid: {len(specs)} specs x {len(corpus)} workloads x 2 seeds"
+        f" = {len(cells)} cells; manifest digest "
+        f"{compile_manifest(cells, num_shards).grid_digest[:12]}..."
+    )
+    return table
+
+
+ALL_EXPERIMENTS["E22"] = e22_sharded_sweep

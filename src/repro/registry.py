@@ -136,13 +136,35 @@ class AlgorithmSpec:
         with use_backend(backend):
             return self.entry_point(graph, seed, policy)
 
+    def run_on(
+        self,
+        instance,
+        seed: int = 0,
+        policy: Optional[BandwidthPolicy] = None,
+        backend: Any = None,
+    ) -> ColoringResult:
+        """Run on a cached workload :class:`~repro.workloads.Instance`.
+
+        Sweeps and examples that already hold an instance (graph built
+        once, Δ / G² memoized) use this instead of re-deriving the
+        graph per spec — see :mod:`repro.workloads`.
+        """
+        return self.run(
+            instance.graph(), seed=seed, policy=policy, backend=backend
+        )
+
     def applicable(self, graph: nx.Graph) -> bool:
         """True when the spec supports ``graph``."""
         return self.supports(graph)
 
-    def bound_for(self, graph: nx.Graph) -> int:
-        """Palette bound instantiated for ``graph``."""
-        return self.palette_bound(graph_delta(graph))
+    def bound_for(
+        self, graph: nx.Graph, delta: Optional[int] = None
+    ) -> int:
+        """Palette bound instantiated for ``graph`` (pass ``delta``
+        when it is already known, e.g. from a cached instance)."""
+        if delta is None:
+            delta = graph_delta(graph)
+        return self.palette_bound(delta)
 
 
 # ----------------------------------------------------------------------

@@ -1,15 +1,23 @@
 """Independent d2-coloring validity checker.
 
-Deliberately does **not** reuse :mod:`repro.graphs.square`: distance-2
-adjacency is recomputed here with a plain per-node BFS so that a bug in
-the shared square-graph code cannot mask itself in the tests.
+By default this deliberately does **not** reuse
+:mod:`repro.graphs.square`: distance-2 adjacency is recomputed here
+with a plain per-node BFS so that a bug in the shared square-graph
+code cannot mask itself in the tests
+(``tests/test_checker_properties.py`` pins the two against each
+other).  Hot paths that check many colorings of the *same* instance —
+the conformance sweep, the shard workers — may pass a precomputed
+``adjacency`` (the cached G² adjacency from
+:meth:`repro.workloads.Instance.d2_adjacency`) to skip the per-call
+BFS; the independence guarantee then rests on the property test
+rather than on every call.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import networkx as nx
 
@@ -74,8 +82,15 @@ def check_distance_k_coloring(
     coloring: Dict[int, Optional[int]],
     k: int,
     palette_size: Optional[int] = None,
+    adjacency: Optional[Mapping[int, Iterable[int]]] = None,
 ) -> CheckReport:
-    """Check that nodes within distance ``k`` have distinct colors."""
+    """Check that nodes within distance ``k`` have distinct colors.
+
+    ``adjacency``, when given, is a precomputed ``{node: distance-<=k
+    neighbors}`` map (e.g. the cached G² adjacency for ``k == 2``)
+    used instead of the per-node BFS — same verdicts, one traversal
+    of the instance instead of one per call.
+    """
     uncolored = [
         v for v in graph.nodes if coloring.get(v) is None
     ]
@@ -92,7 +107,11 @@ def check_distance_k_coloring(
         cv = coloring.get(v)
         if cv is None:
             continue
-        for u in _nodes_within(graph, v, k):
+        within = (
+            adjacency[v] if adjacency is not None
+            else _nodes_within(graph, v, k)
+        )
+        for u in within:
             if u <= v:
                 continue
             if coloring.get(u) == cv:
@@ -115,9 +134,12 @@ def check_d2_coloring(
     graph: nx.Graph,
     coloring: Dict[int, Optional[int]],
     palette_size: Optional[int] = None,
+    adjacency: Optional[Mapping[int, Iterable[int]]] = None,
 ) -> CheckReport:
     """Check a distance-2 coloring (the paper's main object)."""
-    return check_distance_k_coloring(graph, coloring, 2, palette_size)
+    return check_distance_k_coloring(
+        graph, coloring, 2, palette_size, adjacency=adjacency
+    )
 
 
 def check_coloring(

@@ -1,0 +1,456 @@
+"""Content-addressed instance cache with memoized derived artifacts.
+
+Building a workload graph is cheap; the *derived* artifacts — the G²
+adjacency, Δ, and the d2-degree table — are the dominant cost of a
+sweep cell now that the round loop is fast.  An :class:`Instance`
+bundles a built graph with those artifacts, computed lazily and
+exactly once; an :class:`InstanceCache` content-addresses instances by
+``(workload, params, seed)`` so every spec × backend × seed cell of a
+grid shares the same artifact instead of rebuilding it.
+
+Process-pool workers receive the *prebuilt* artifact, not a rebuild
+recipe: :meth:`SweepBackend.map <repro.exec.sweep.SweepBackend.map>`
+ships prewarmed instances through the pool initializer
+(:func:`install_prebuilt`), and pickling an :class:`Instance`
+preserves whatever derived artifacts were already computed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+import networkx as nx
+
+from repro.graphs.square import d2_neighborhoods
+from repro.workloads.spec import ParamsKey, get_workload
+
+
+def canonical_nodes_edges(
+    graph: nx.Graph,
+) -> Tuple[Tuple[Any, ...], Tuple[Tuple[Any, Any], ...]]:
+    """The canonical picklable payload of a graph: sorted nodes and
+    sorted normalized edges (the same form :class:`SweepCell` ships)."""
+    nodes = tuple(sorted(graph.nodes))
+    edges = tuple(sorted(tuple(sorted(e)) for e in graph.edges))
+    return nodes, edges
+
+
+class Instance:
+    """One built workload instance plus its memoized derived artifacts.
+
+    Node/edge payloads are canonical (sorted, attribute-free) — the
+    same normal form sweep cells have always shipped — so the content
+    digest, and therefore every run fingerprint, is independent of
+    builder-side dict ordering and of graph attributes.  Attributes
+    (edge weights, node positions) are carried *separately* and
+    reapplied when the graph is rebuilt after a process or shard
+    boundary, so attribute-consuming policies see the same graph on
+    every execution path.
+
+    The graph returned by :meth:`graph` is the shared cached object —
+    callers must not mutate it (copy first; ``named_instance`` does).
+    """
+
+    __slots__ = (
+        "workload",
+        "params",
+        "seed",
+        "nodes",
+        "edges",
+        "registered",
+        "_node_attrs",
+        "_edge_attrs",
+        "_graph",
+        "_delta",
+        "_d2_adjacency",
+        "_d2_degrees",
+        "_square",
+        "_digest",
+        "_stats",
+    )
+
+    def __init__(
+        self,
+        workload: str,
+        seed: int,
+        nodes: Tuple[Any, ...],
+        edges: Tuple[Tuple[Any, Any], ...],
+        params: ParamsKey = (),
+        graph: Optional[nx.Graph] = None,
+        registered: bool = False,
+        node_attrs: Optional[Dict[Any, Dict]] = None,
+        edge_attrs: Optional[Dict[Tuple, Dict]] = None,
+    ):
+        self.workload = workload
+        self.seed = seed
+        self.nodes = nodes
+        self.edges = edges
+        self.params = params
+        #: True when built from a *registered* workload spec — the
+        #: only instances a worker may resolve by bare (name, seed).
+        self.registered = registered
+        self._node_attrs = node_attrs or {}
+        self._edge_attrs = edge_attrs or {}
+        self._graph = graph
+        self._delta: Optional[int] = None
+        self._d2_adjacency: Optional[Dict[Any, frozenset]] = None
+        self._d2_degrees: Optional[Dict[Any, int]] = None
+        self._square: Optional[nx.Graph] = None
+        self._digest: Optional[str] = None
+        #: Stats of the owning cache (bound on get/intern/install) so
+        #: derivation counters land where the instance lives.
+        self._stats: Optional["CacheStats"] = None
+
+    @classmethod
+    def from_graph(
+        cls,
+        workload: str,
+        seed: int,
+        graph: nx.Graph,
+        params: ParamsKey = (),
+        registered: bool = False,
+    ) -> "Instance":
+        nodes, edges = canonical_nodes_edges(graph)
+        node_attrs = {
+            v: dict(data) for v, data in graph.nodes(data=True) if data
+        }
+        edge_attrs = {
+            tuple(sorted((u, v))): dict(data)
+            for u, v, data in graph.edges(data=True)
+            if data
+        }
+        return cls(
+            workload,
+            seed,
+            nodes,
+            edges,
+            params,
+            graph,
+            registered=registered,
+            node_attrs=node_attrs,
+            edge_attrs=edge_attrs,
+        )
+
+    # -- identity --------------------------------------------------------
+
+    @property
+    def key(self) -> Tuple[str, ParamsKey, int]:
+        return (self.workload, self.params, self.seed)
+
+    def digest(self) -> str:
+        """Content address: sha256 over the canonical payload."""
+        if self._digest is None:
+            payload = repr((self.nodes, self.edges)).encode("utf-8")
+            self._digest = hashlib.sha256(payload).hexdigest()
+        return self._digest
+
+    # -- the graph and its derived artifacts -----------------------------
+
+    def graph(self) -> nx.Graph:
+        """The instance graph (memoized; rebuilt — attributes
+        included — from the canonical payload after crossing a
+        process boundary).  Shared: do not mutate."""
+        if self._graph is None:
+            graph = nx.Graph()
+            graph.add_nodes_from(self.nodes)
+            graph.add_edges_from(self.edges)
+            for v, data in self._node_attrs.items():
+                graph.nodes[v].update(data)
+            for (u, v), data in self._edge_attrs.items():
+                if graph.has_edge(u, v):
+                    graph.edges[u, v].update(data)
+            self._graph = graph
+        return self._graph
+
+    @property
+    def n(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def delta(self) -> int:
+        """Maximum degree (memoized, computable without the graph)."""
+        if self._delta is None:
+            degree: Dict[Any, int] = {}
+            for u, v in self.edges:
+                degree[u] = degree.get(u, 0) + 1
+                degree[v] = degree.get(v, 0) + 1
+            self._delta = max(degree.values(), default=0)
+        return self._delta
+
+    def d2_adjacency(self) -> Dict[Any, frozenset]:
+        """``{node: frozenset of d2-neighbors}`` — the G² adjacency,
+        computed once per instance (the expensive artifact)."""
+        if self._d2_adjacency is None:
+            if self._stats is not None:
+                self._stats.square_builds += 1
+            self._d2_adjacency = d2_neighborhoods(self.graph())
+        return self._d2_adjacency
+
+    def square(self) -> nx.Graph:
+        """G² as a graph object (memoized, built from the adjacency)."""
+        if self._square is None:
+            sq = nx.Graph()
+            sq.add_nodes_from(self.nodes)
+            for v, nbrs in self.d2_adjacency().items():
+                for u in nbrs:
+                    sq.add_edge(v, u)
+            self._square = sq
+        return self._square
+
+    def d2_degrees(self) -> Dict[Any, int]:
+        """Per-node d2-degree table (degree in G²)."""
+        if self._d2_degrees is None:
+            self._d2_degrees = {
+                v: len(nbrs) for v, nbrs in self.d2_adjacency().items()
+            }
+        return self._d2_degrees
+
+    def max_d2_degree(self) -> int:
+        return max(self.d2_degrees().values(), default=0)
+
+    # -- pickling: ship computed artifacts, drop rebuildable objects -----
+
+    def __getstate__(self):
+        return {
+            "workload": self.workload,
+            "params": self.params,
+            "seed": self.seed,
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "registered": self.registered,
+            "node_attrs": self._node_attrs,
+            "edge_attrs": self._edge_attrs,
+            "delta": self._delta,
+            "d2_adjacency": self._d2_adjacency,
+            "d2_degrees": self._d2_degrees,
+            "digest": self._digest,
+        }
+
+    def __setstate__(self, state):
+        self.workload = state["workload"]
+        self.params = state["params"]
+        self.seed = state["seed"]
+        self.nodes = state["nodes"]
+        self.edges = state["edges"]
+        self.registered = state["registered"]
+        self._node_attrs = state["node_attrs"]
+        self._edge_attrs = state["edge_attrs"]
+        self._graph = None
+        self._square = None
+        self._delta = state["delta"]
+        self._d2_adjacency = state["d2_adjacency"]
+        self._d2_degrees = state["d2_degrees"]
+        self._digest = state["digest"]
+        self._stats = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Instance {self.workload!r} seed={self.seed} "
+            f"n={self.n} m={len(self.edges)}>"
+        )
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed for tests and the bench assertions."""
+
+    hits: int = 0
+    misses: int = 0
+    builds: int = 0
+    square_builds: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.builds,
+            "square_builds": self.square_builds,
+        }
+
+
+class InstanceCache:
+    """Memoizing store of built :class:`Instance` objects.
+
+    Primary keys are ``(workload name, params, seed)`` — valid
+    because the registry contract makes builders deterministic in the
+    seed.  Ad-hoc graphs (never registered) are interned under their
+    content digest instead, so two different ad-hoc instances can
+    share a display name without colliding.  Installed (prebuilt)
+    instances are additionally reachable by ``(name, seed)`` alone,
+    so a pool worker resolves workload-keyed cells even when the
+    workload was registered only in the parent process.
+
+    ``max_instances`` bounds the store (least-recently-used instance
+    evicted, with all its alias keys); the default keeps long-lived
+    processes from accumulating every large-tier G² ever derived.
+    """
+
+    def __init__(self, max_instances: Optional[int] = 256):
+        #: primary key -> instance, in LRU order.
+        self._primary: "OrderedDict[Tuple, Instance]" = OrderedDict()
+        #: alias key -> primary key.
+        self._aliases: Dict[Tuple, Tuple] = {}
+        #: primary key -> alias keys, for eviction.
+        self._alias_index: Dict[Tuple, Tuple[Tuple, ...]] = {}
+        self.max_instances = max_instances
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._primary)
+
+    def clear(self) -> None:
+        self._primary.clear()
+        self._aliases.clear()
+        self._alias_index.clear()
+        self.stats = CacheStats()
+
+    # -- the keyed store -------------------------------------------------
+
+    def _lookup(self, key: Tuple) -> Optional[Instance]:
+        primary = self._aliases.get(key, key)
+        hit = self._primary.get(primary)
+        if hit is not None:
+            self._primary.move_to_end(primary)
+        return hit
+
+    def _store(
+        self,
+        primary: Tuple,
+        instance: Instance,
+        aliases: Tuple[Tuple, ...] = (),
+    ) -> Instance:
+        instance._stats = self.stats
+        self._primary[primary] = instance
+        self._primary.move_to_end(primary)
+        self._alias_index[primary] = aliases
+        for alias in aliases:
+            self._aliases[alias] = primary
+        while (
+            self.max_instances is not None
+            and len(self._primary) > self.max_instances
+        ):
+            evicted, _ = self._primary.popitem(last=False)
+            for alias in self._alias_index.pop(evicted, ()):
+                self._aliases.pop(alias, None)
+        return instance
+
+    # -- lookup / build --------------------------------------------------
+
+    def get(self, workload, seed: int = 0) -> Instance:
+        """The cached instance for a workload (building, once, on
+        miss).  ``workload`` is a spec or a registry name.
+
+        An unregistered *name* still resolves if a prebuilt
+        registered instance was :meth:`install`-ed under it (the
+        worker-pool path).  An unregistered *spec object* (e.g. a
+        ``Scenario``-shim ad-hoc spec) is content-interned instead of
+        keyed by name, so two ad-hoc specs sharing a name can never
+        alias each other's graphs.
+        """
+        from repro.workloads.spec import is_registered_spec
+
+        if isinstance(workload, str):
+            try:
+                spec = get_workload(workload)
+            except KeyError:
+                hit = self._lookup(("installed", workload, seed))
+                if hit is not None:
+                    self.stats.hits += 1
+                    return hit
+                raise
+        else:
+            spec = workload
+        if not is_registered_spec(spec):
+            return self.intern_graph(
+                spec.name, seed, spec.graph(seed)
+            )
+        key = (spec.name, spec.params, seed)
+        hit = self._lookup(key)
+        if hit is not None:
+            self.stats.hits += 1
+            return hit
+        self.stats.misses += 1
+        self.stats.builds += 1
+        instance = Instance.from_graph(
+            spec.name, seed, spec.graph(seed), spec.params,
+            registered=True,
+        )
+        return self._store(key, instance)
+
+    def intern(
+        self,
+        name: str,
+        seed: int,
+        nodes: Tuple[Any, ...],
+        edges: Tuple[Tuple[Any, Any], ...],
+    ) -> Instance:
+        """The cached instance for an ad-hoc (unregistered) payload,
+        content-addressed so equal payloads share artifacts."""
+        probe = Instance(name, seed, tuple(nodes), tuple(edges))
+        key = ("adhoc", name, seed, probe.digest())
+        hit = self._lookup(key)
+        if hit is not None:
+            self.stats.hits += 1
+            return hit
+        self.stats.misses += 1
+        return self._store(key, probe)
+
+    def intern_graph(
+        self, name: str, seed: int, graph: nx.Graph
+    ) -> Instance:
+        nodes, edges = canonical_nodes_edges(graph)
+        instance = self.intern(name, seed, nodes, edges)
+        if instance._graph is None:
+            instance._graph = graph
+        return instance
+
+    # -- prebuilt installation (worker-side) -----------------------------
+
+    def install(self, instances: Iterable[Instance]) -> int:
+        """Adopt prebuilt instances (pool-initializer path).
+
+        Each instance lands under its registry key and its ad-hoc
+        content key; instances built from a *registered* workload
+        additionally get an ``("installed", name, seed)`` alias, so a
+        worker resolves workload-keyed cells even when the workload
+        is registered only in the parent.  Ad-hoc instances never get
+        that alias — a name collision with a workload must not let a
+        workload-keyed cell resolve to an ad-hoc graph.
+        """
+        count = 0
+        for instance in instances:
+            aliases = [
+                (
+                    "adhoc",
+                    instance.workload,
+                    instance.seed,
+                    instance.digest(),
+                ),
+            ]
+            if instance.registered:
+                aliases.append(
+                    ("installed", instance.workload, instance.seed)
+                )
+            self._store(instance.key, instance, tuple(aliases))
+            count += 1
+        return count
+
+
+# ----------------------------------------------------------------------
+# the process-global cache
+
+_CACHE = InstanceCache()
+
+
+def instance_cache() -> InstanceCache:
+    """The process-global cache (each pool worker holds its own,
+    seeded by :func:`install_prebuilt` for process executors)."""
+    return _CACHE
+
+
+def install_prebuilt(instances: Iterable[Instance]) -> None:
+    """Pool-initializer target: adopt parent-prebuilt instances."""
+    _CACHE.install(instances)

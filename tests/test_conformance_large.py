@@ -1,10 +1,11 @@
 """The large-instance conformance tier (``slow``-marked).
 
 Scale-ups of the corpus families to n in the thousands
-(:func:`repro.conformance.scenarios.build_large_corpus`), executed
-through the ``sweep`` backend so the registry × scenario grid fans
-out across a process pool with the contract checks running inside the
-workers.  Excluded from tier-1 (``-m "not slow"``); CI runs it weekly
+(:func:`repro.workloads.build_large_corpus`), executed through the
+``sweep`` backend so the registry × scenario grid fans out across a
+process pool with the contract checks running inside the workers —
+and through a shard manifest, which is how the weekly CI job runs the
+tier.  Excluded from tier-1 (``-m "not slow"``); CI runs it weekly
 and on ``workflow_dispatch``.
 
 ``"heavy"``-tagged specs (the O(log³ n) strawman) are excluded: at
@@ -18,7 +19,11 @@ import pytest
 
 from repro import registry
 from repro.conformance import build_large_corpus, run_conformance
-from repro.exec import SweepBackend
+from repro.exec import (
+    SweepBackend,
+    grid_cells,
+    run_sharded,
+)
 
 pytestmark = pytest.mark.slow
 
@@ -57,6 +62,23 @@ def test_large_tier_instances_are_actually_large():
     sizes = [s.graph(SEED).number_of_nodes() for s in _CORPUS]
     assert min(sizes) >= 300
     assert max(sizes) >= 2000
+
+
+def test_large_tier_through_shard_manifest(tmp_path):
+    """The weekly-job path: the large grid compiled to a 2-shard
+    manifest must merge byte-identically to the unsharded sweep."""
+    specs = [
+        registry.get_algorithm(name)
+        for name in ("trial", "deterministic-d2", "greedy-oracle")
+    ]
+    corpus = [
+        s for s in _CORPUS if s.name in ("cliques64x6", "relay40x8")
+    ]
+    cells = grid_cells(specs=specs, scenarios=corpus, seeds=(SEED,))
+    unsharded = SweepBackend(executor="serial").run_grid(cells)
+    merged = run_sharded(cells, 2, str(tmp_path))
+    assert merged.ok, [c.error for c in merged.failures]
+    assert merged.fingerprint() == unsharded.fingerprint()
 
 
 def test_large_tier_seed_determinism_across_worker_counts():

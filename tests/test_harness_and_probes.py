@@ -54,7 +54,7 @@ class TestExperimentTable:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        expected = {f"E{i}" for i in range(1, 22)}
+        expected = {f"E{i}" for i in range(1, 23)}
         assert set(ALL_EXPERIMENTS) == expected
 
     def test_experiments_return_tables(self):

@@ -1,0 +1,276 @@
+"""Shard-merge equivalence and resumability.
+
+The contract of :mod:`repro.exec.shards`: a grid split into 1, 2, or
+k shards merges to a :class:`SweepResult` *byte-identical*
+(``fingerprint()`` plus aggregate metrics) to the unsharded run, and
+a killed shard resumes from its per-cell checkpoint without
+recomputing finished cells.  Also pins the JSON codecs (lossless
+round-trips are what byte-identity rests on), manifest persistence
+with digest validation, and the prebuilt-instance shipping that keeps
+process workers from rebuilding per cell.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro import registry
+from repro.exec import (
+    ShardIncompleteError,
+    ShardManifest,
+    SweepBackend,
+    compile_manifest,
+    grid_cells,
+    merge_shards,
+    run_shard,
+    run_sharded,
+    shard_status,
+)
+from repro.exec.shards import (
+    cell_from_json,
+    cell_to_json,
+    checkpoint_path,
+    result_from_json,
+    result_to_json,
+)
+from repro.workloads import get_workload
+
+SEED = 13
+
+_SPECS = [
+    registry.get_algorithm(name)
+    for name in ("trial", "deterministic-d2", "greedy-oracle")
+]
+_WORKLOADS = [
+    get_workload(name)
+    for name in ("cycle5", "gnp24", "relay3x4", "powerlaw24")
+]
+
+
+def small_grid():
+    return grid_cells(
+        specs=_SPECS, scenarios=_WORKLOADS, seeds=(SEED, SEED + 1)
+    )
+
+
+@pytest.fixture(scope="module")
+def unsharded():
+    return SweepBackend(executor="serial").run_grid(small_grid())
+
+
+class TestShardMergeEquivalence:
+    @pytest.mark.parametrize("num_shards", [1, 2, 5])
+    def test_merge_is_byte_identical(
+        self, tmp_path, unsharded, num_shards
+    ):
+        merged = run_sharded(
+            small_grid(), num_shards, str(tmp_path)
+        )
+        assert merged.fingerprint() == unsharded.fingerprint()
+        assert repr(merged.aggregate_metrics()) == repr(
+            unsharded.aggregate_metrics()
+        )
+
+    def test_shards_partition_the_grid(self):
+        manifest = compile_manifest(small_grid(), 3)
+        owned = [
+            manifest.shard_indices(shard) for shard in range(3)
+        ]
+        flat = sorted(i for indices in owned for i in indices)
+        assert flat == list(range(len(manifest.cells)))
+        sizes = [len(indices) for indices in owned]
+        assert max(sizes) - min(sizes) <= 1  # round-robin balance
+
+    def test_second_process_can_run_from_the_manifest_file(
+        self, tmp_path, unsharded
+    ):
+        """The multi-host story: shard runners share only the
+        manifest file and the checkpoint directory."""
+        manifest = compile_manifest(small_grid(), 2)
+        path = manifest.save(str(tmp_path))
+        for shard in (0, 1):
+            reloaded = ShardManifest.load(path)
+            run_shard(reloaded, shard, str(tmp_path))
+        merged = merge_shards(
+            ShardManifest.load(path), str(tmp_path)
+        )
+        assert merged.fingerprint() == unsharded.fingerprint()
+
+
+class TestResume:
+    def test_killed_shard_resumes_from_checkpoint(
+        self, tmp_path, unsharded
+    ):
+        manifest = compile_manifest(small_grid(), 2)
+        manifest.save(str(tmp_path))
+        partial = run_shard(manifest, 0, str(tmp_path), max_cells=3)
+        assert partial.executed == 3 and not partial.complete
+        assert shard_status(manifest, str(tmp_path))[0][1] == 3
+
+        resumed = run_shard(manifest, 0, str(tmp_path))
+        assert resumed.resumed == 3  # nothing recomputed
+        assert resumed.complete
+        run_shard(manifest, 1, str(tmp_path))
+        merged = merge_shards(manifest, str(tmp_path))
+        assert merged.fingerprint() == unsharded.fingerprint()
+
+    def test_truncated_checkpoint_line_is_recovered(
+        self, tmp_path, unsharded
+    ):
+        """A kill mid-write leaves a torn JSON line; resume must drop
+        it and recompute that cell, not crash or corrupt the merge."""
+        manifest = compile_manifest(small_grid(), 2)
+        run_shard(manifest, 0, str(tmp_path), max_cells=2)
+        path = checkpoint_path(str(tmp_path), 0)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"index": 4, "result": {"algo')  # torn
+        resumed = run_shard(manifest, 0, str(tmp_path))
+        assert resumed.resumed == 2
+        assert resumed.complete
+        run_shard(manifest, 1, str(tmp_path))
+        merged = merge_shards(manifest, str(tmp_path))
+        assert merged.fingerprint() == unsharded.fingerprint()
+
+    def test_merge_refuses_incomplete_checkpoints(self, tmp_path):
+        manifest = compile_manifest(small_grid(), 2)
+        run_shard(manifest, 0, str(tmp_path))
+        with pytest.raises(ShardIncompleteError, match="no"):
+            merge_shards(manifest, str(tmp_path))
+
+    def test_stale_checkpoints_from_another_grid_are_discarded(
+        self, tmp_path, unsharded
+    ):
+        """Reusing a checkpoint directory for a *different* grid must
+        never merge the old grid's results into the new one: records
+        are stamped with the grid digest and foreign ones dropped."""
+        other = grid_cells(
+            specs=_SPECS[:1],
+            scenarios=[get_workload("petersen")],
+            seeds=(SEED,),
+        )
+        run_sharded(other, 2, str(tmp_path))  # stale shard_*.jsonl
+
+        manifest = compile_manifest(small_grid(), 2)
+        manifest.save(str(tmp_path))
+        # Nothing of the stale run counts as done for this grid.
+        assert all(
+            done == 0
+            for _, done, _ in shard_status(manifest, str(tmp_path))
+        )
+        for shard in (0, 1):
+            run_shard(manifest, shard, str(tmp_path))
+        merged = merge_shards(manifest, str(tmp_path))
+        assert merged.fingerprint() == unsharded.fingerprint()
+
+
+class TestManifest:
+    def test_save_load_round_trip(self, tmp_path):
+        manifest = compile_manifest(small_grid(), 4, inner="fastpath")
+        path = manifest.save(str(tmp_path))
+        loaded = ShardManifest.load(path)
+        assert loaded == manifest
+
+    def test_tampered_manifest_is_rejected(self, tmp_path):
+        manifest = compile_manifest(small_grid(), 2)
+        path = manifest.save(str(tmp_path))
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        data["cells"] = data["cells"][:-1]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+        with pytest.raises(ValueError, match="digest"):
+            ShardManifest.load(path)
+
+    def test_workload_cells_serialize_by_key(self):
+        cells = small_grid()
+        assert all(cell.workload for cell in cells)
+        for cell in cells:
+            data = cell_to_json(cell)
+            assert "nodes" not in data  # key, not payload
+            assert cell_from_json(data) == cell
+
+    def test_adhoc_cells_serialize_by_payload(self):
+        import networkx as nx
+
+        from repro.exec import SweepCell
+
+        cell = SweepCell.from_graph(
+            "trial", "adhoc", 3, nx.path_graph(5)
+        )
+        data = cell_to_json(cell)
+        assert data["nodes"] == [0, 1, 2, 3, 4]
+        assert cell_from_json(data) == cell
+
+    def test_result_codec_is_lossless(self, unsharded):
+        for result in unsharded.cells:
+            back = result_from_json(
+                json.loads(json.dumps(result_to_json(result)))
+            )
+            assert repr(back) == repr(result)
+
+
+class TestPrebuiltShipping:
+    def test_process_grid_matches_serial_on_workload_cells(
+        self, unsharded
+    ):
+        pooled = SweepBackend(
+            executor="process", max_workers=3
+        ).run_grid(small_grid())
+        assert pooled.fingerprint() == unsharded.fingerprint()
+        assert pooled.ok, [c.error for c in pooled.failures]
+
+    def test_spawn_workers_receive_prebuilt_instances(self):
+        """Under a spawn context nothing is fork-inherited: worker
+        cache contents can only come from the pool initializer."""
+        import concurrent.futures
+
+        from repro.exec.sweep import prebuild_instances
+        from repro.workloads import install_prebuilt
+
+        cells = small_grid()[:4]
+        instances = prebuild_instances(cells, prewarm_square=True)
+        ctx = multiprocessing.get_context("spawn")
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=2,
+            mp_context=ctx,
+            initializer=install_prebuilt,
+            initargs=(instances,),
+        ) as pool:
+            futures = [
+                pool.submit(_probe_worker_cache, cell)
+                for cell in cells
+            ]
+            out = [future.result() for future in futures]
+        for builds, has_square in out:
+            assert builds == 0  # nothing rebuilt in the worker
+            assert has_square  # G² arrived prebuilt
+
+
+def _probe_worker_cache(cell):
+    """(worker-side) builds triggered by resolving ``cell`` and
+    whether its G² adjacency arrived prebuilt."""
+    from repro.workloads import instance_cache
+
+    cache = instance_cache()
+    before = cache.stats.builds
+    instance = cell.instance()
+    return (
+        cache.stats.builds - before,
+        instance._d2_adjacency is not None,
+    )
+
+
+def test_run_sharded_writes_manifest_and_checkpoints(tmp_path):
+    cells = small_grid()[:6]
+    run_sharded(cells, 2, str(tmp_path))
+    assert os.path.exists(os.path.join(str(tmp_path), "manifest.json"))
+    manifest = ShardManifest.load(str(tmp_path))
+    assert [
+        (shard, done, total)
+        for shard, done, total in shard_status(manifest, str(tmp_path))
+        if done != total
+    ] == []
