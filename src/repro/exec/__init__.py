@@ -9,6 +9,11 @@ it is executed.  Three engines ship by default:
 ``fastpath``
     The same semantics with metering inlined and, under unbounded
     policies, message sizing skipped — the engine for large instances.
+``vectorized``
+    Struct-of-arrays numpy kernels over CSR-form G/G² adjacency for
+    the hottest program classes (trial/slack, Luby MIS), with
+    automatic fallback to ``fastpath`` for everything else — the
+    engine for the huge tier.
 ``sweep``
     A grid executor fanning algorithm × instance × seed cells across
     ``concurrent.futures`` workers, with deterministic aggregation.
@@ -60,10 +65,12 @@ from repro.exec.sweep import (
     prebuild_instances,
     run_cell,
 )
+from repro.exec.vectorized import VectorizedBackend
 
 #: The default engine instances, registered in order.
 REFERENCE = register_backend(ReferenceBackend())
 FASTPATH = register_backend(FastpathBackend())
+VECTORIZED = register_backend(VectorizedBackend())
 SWEEP = register_backend(SweepBackend())
 
 __all__ = [
@@ -79,6 +86,8 @@ __all__ = [
     "SweepBackend",
     "SweepCell",
     "SweepResult",
+    "VECTORIZED",
+    "VectorizedBackend",
     "available_backends",
     "compile_manifest",
     "current_backend",

@@ -1,0 +1,219 @@
+"""CSR-form adjacency arrays: the vectorized backend's artifact.
+
+A :class:`CSRAdjacency` is the struct-of-arrays view of one graph:
+node labels flattened to dense indices ``0..n-1`` in sorted-label
+order, with both the G adjacency and the exact-distance-≤2 (G²,
+self-free) adjacency in compressed-sparse-row form.  It is derived
+once per instance — :meth:`repro.workloads.cache.Instance.csr`
+memoizes it next to ``d2_adjacency`` and ships it prebuilt through
+pickling — and looked up per run through a weak per-graph registry so
+repeated runs on the same graph object never rebuild it.
+
+Everything here is plain numpy/scipy; the kernels in
+:mod:`repro.exec.vectorized` are the only consumers.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Tuple
+
+import networkx as nx
+import numpy as np
+from scipy import sparse
+
+
+class CSRAdjacency:
+    """Dense-indexed CSR adjacency of G and G² for one graph.
+
+    ``order[i]`` is the node label of dense index ``i`` (sorted label
+    order — the same order every canonical payload uses), ``index``
+    the inverse map.  ``g_indptr``/``g_indices`` is the CSR adjacency
+    of G with sorted rows; ``g2_indptr``/``g2_indices`` the CSR
+    adjacency of G² (distance ≤ 2, diagonal removed).  ``degrees``
+    and ``d2_degrees`` are the per-row counts.  ``has_selfloops``
+    flags graphs the kernels refuse (they fall back to fastpath).
+    """
+
+    __slots__ = (
+        "n",
+        "order",
+        "index",
+        "g_indptr",
+        "g_indices",
+        "g2_indptr",
+        "g2_indices",
+        "degrees",
+        "d2_degrees",
+        "has_selfloops",
+    )
+
+    def __init__(
+        self,
+        n,
+        order,
+        index,
+        g_indptr,
+        g_indices,
+        g2_indptr,
+        g2_indices,
+        degrees,
+        d2_degrees,
+        has_selfloops,
+    ):
+        self.n = n
+        self.order = order
+        self.index = index
+        self.g_indptr = g_indptr
+        self.g_indices = g_indices
+        self.g2_indptr = g2_indptr
+        self.g2_indices = g2_indices
+        self.degrees = degrees
+        self.d2_degrees = d2_degrees
+        self.has_selfloops = has_selfloops
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot in self.__slots__:
+            setattr(self, slot, state[slot])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CSRAdjacency n={self.n} m={self.g_indices.size // 2} "
+            f"m2={self.g2_indices.size // 2}>"
+        )
+
+
+def build_csr(graph: nx.Graph) -> CSRAdjacency:
+    """Build the CSR artifact for a graph (one sparse boolean square)."""
+    order: Tuple = tuple(sorted(graph.nodes))
+    n = len(order)
+    index = {v: i for i, v in enumerate(order)}
+    has_selfloops = nx.number_of_selfloops(graph) > 0
+
+    rows = []
+    cols = []
+    for u, v in graph.edges:
+        if u == v:
+            continue
+        iu, iv = index[u], index[v]
+        rows.append(iu)
+        cols.append(iv)
+        rows.append(iv)
+        cols.append(iu)
+    data = np.ones(len(rows), dtype=np.int32)
+    adj = sparse.csr_matrix(
+        (data, (np.asarray(rows, dtype=np.int64),
+                np.asarray(cols, dtype=np.int64))),
+        shape=(n, n),
+    )
+    adj.sum_duplicates()
+    adj.sort_indices()
+    g_indptr = adj.indptr.astype(np.int64)
+    g_indices = adj.indices.astype(np.int64)
+
+    # Distance ≤ 2 adjacency: A + A², diagonal dropped.  Row-array
+    # surgery instead of setdiag(0) keeps everything in CSR form.
+    two = (adj + adj @ adj).tocsr()
+    two.sum_duplicates()
+    two.sort_indices()
+    row_of = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(two.indptr)
+    )
+    keep = two.indices != row_of
+    g2_indices = two.indices[keep].astype(np.int64)
+    counts = np.bincount(row_of[keep], minlength=n)
+    g2_indptr = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(counts))
+    ).astype(np.int64)
+
+    return CSRAdjacency(
+        n=n,
+        order=order,
+        index=index,
+        g_indptr=g_indptr,
+        g_indices=g_indices,
+        g2_indptr=g2_indptr,
+        g2_indices=g2_indices,
+        degrees=np.diff(g_indptr),
+        d2_degrees=np.diff(g2_indptr),
+        has_selfloops=has_selfloops,
+    )
+
+
+# ----------------------------------------------------------------------
+# per-graph-object registry (weak: dies with the graph)
+
+_GRAPH_CSR: "weakref.WeakKeyDictionary[nx.Graph, CSRAdjacency]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def csr_for_graph(graph: nx.Graph) -> CSRAdjacency:
+    """The CSR artifact for a graph object, built at most once per
+    object.  :meth:`Instance.csr` pre-seeds this registry, so cached
+    workload instances never rebuild here."""
+    cached = _GRAPH_CSR.get(graph)
+    if cached is None:
+        cached = build_csr(graph)
+        _GRAPH_CSR[graph] = cached
+    return cached
+
+
+def register_csr(graph: nx.Graph, csr: CSRAdjacency) -> None:
+    """Seed the per-graph registry with a prebuilt artifact."""
+    _GRAPH_CSR[graph] = csr
+
+
+# ----------------------------------------------------------------------
+# segmented-row primitives (CSR rows of ragged length)
+
+def row_any(flags: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-row ``any`` over CSR-expanded boolean entries (empty rows
+    are False)."""
+    csum = np.concatenate(
+        (np.zeros(1, dtype=np.int64),
+         np.cumsum(flags, dtype=np.int64))
+    )
+    return (csum[indptr[1:]] - csum[indptr[:-1]]) > 0
+
+
+def row_max(
+    values: np.ndarray, indptr: np.ndarray, fill
+) -> np.ndarray:
+    """Per-row max over CSR-expanded entries; empty rows get ``fill``.
+
+    ``np.maximum.reduceat`` treats ``starts[i] == starts[i+1]`` as a
+    one-element segment, so it is only called on the strictly
+    increasing starts of *non-empty* rows (a segment then ends exactly
+    where the next non-empty row begins).
+    """
+    n = indptr.shape[0] - 1
+    out = np.full(n, fill, dtype=values.dtype)
+    nonempty = np.flatnonzero(np.diff(indptr) > 0)
+    if nonempty.size:
+        out[nonempty] = np.maximum.reduceat(
+            values, indptr[nonempty]
+        )
+    return out
+
+
+def int_bits_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.congest.message.int_bits`, exact for
+    any int64 payload: ``max(1, bit_length(|v|)) + (1 if v < 0)``.
+
+    ``frexp`` on a float64 is only exact below 2⁵³, so the magnitude
+    is split into 32-bit halves first (each half is exact).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    mag = np.abs(values)
+    high = mag >> np.int64(32)
+    low = mag & np.int64(0xFFFFFFFF)
+    high_bits = np.frexp(high.astype(np.float64))[1]
+    low_bits = np.frexp(low.astype(np.float64))[1]
+    bits = np.where(
+        high > 0, high_bits + 32, np.maximum(low_bits, 1)
+    )
+    return (bits + (values < 0)).astype(np.int64)

@@ -85,6 +85,18 @@ def cell_to_json(cell: SweepCell) -> Dict:
     else:
         data["nodes"] = list(cell.nodes)
         data["edges"] = [list(e) for e in cell.edges]
+        # Attribute keys are omitted when empty so attribute-free
+        # grids keep their pre-existing digests.
+        if cell.node_attrs:
+            data["node_attrs"] = [
+                [v, [list(kv) for kv in items]]
+                for v, items in cell.node_attrs
+            ]
+        if cell.edge_attrs:
+            data["edge_attrs"] = [
+                [list(edge), [list(kv) for kv in items]]
+                for edge, items in cell.edge_attrs
+            ]
     return data
 
 
@@ -97,6 +109,14 @@ def cell_from_json(data: Dict) -> SweepCell:
         edges=tuple(tuple(e) for e in data.get("edges", ())),
         policy=policy_from_json(data.get("policy")),
         workload=data.get("workload"),
+        node_attrs=tuple(
+            (v, tuple(tuple(kv) for kv in items))
+            for v, items in data.get("node_attrs", ())
+        ),
+        edge_attrs=tuple(
+            (tuple(edge), tuple(tuple(kv) for kv in items))
+            for edge, items in data.get("edge_attrs", ())
+        ),
     )
 
 
@@ -283,7 +303,7 @@ def checkpoint_path(checkpoint_dir: str, shard: int) -> str:
 
 
 def _read_checkpoint(
-    path: str, grid_digest: str
+    path: str, grid_digest: str, owned: Optional[Sequence[int]] = None
 ) -> Tuple[Dict[int, CellResult], bool]:
     """Completed ``{manifest index: result}`` from a shard checkpoint,
     plus whether any line was damaged or foreign.
@@ -291,12 +311,18 @@ def _read_checkpoint(
     Every record is stamped with the manifest's grid digest; records
     from a *different* grid (a stale checkpoint left in a reused
     directory) are discarded like damaged ones, so they can never be
-    merged into the wrong grid's result.  Tolerates a truncated
-    trailing line (the signature of a kill mid-write): the damaged
-    record is dropped and recomputed on resume.
+    merged into the wrong grid's result.  With ``owned`` (the manifest
+    indices this shard is responsible for), records for indices the
+    shard does *not* own — another shard's file copied into place, or
+    out-of-range indices from a longer grid with the same digest —
+    are discarded the same way, so ``ShardRun.resumed`` only ever
+    counts owned cells.  Tolerates a truncated trailing line (the
+    signature of a kill mid-write): the damaged record is dropped and
+    recomputed on resume.
     """
     done: Dict[int, CellResult] = {}
     damaged = False
+    owned_set = None if owned is None else set(owned)
     if not os.path.exists(path):
         return done, damaged
     with open(path, "r", encoding="utf-8") as handle:
@@ -312,7 +338,11 @@ def _read_checkpoint(
             if record["grid"] != grid_digest:
                 damaged = True
                 continue
-            done[record["index"]] = result_from_json(record["result"])
+            index = record["index"]
+            if owned_set is not None and index not in owned_set:
+                damaged = True
+                continue
+            done[index] = result_from_json(record["result"])
         except (ValueError, KeyError, TypeError):
             damaged = True
             continue
@@ -376,13 +406,20 @@ def run_shard(
     """
     os.makedirs(checkpoint_dir, exist_ok=True)
     path = checkpoint_path(checkpoint_dir, shard)
-    done, damaged = _read_checkpoint(path, manifest.grid_digest)
+    owned = manifest.shard_cells(shard)
+    done, damaged = _read_checkpoint(
+        path,
+        manifest.grid_digest,
+        owned=manifest.shard_indices(shard),
+    )
     if damaged:
         _repair_checkpoint(path, done, manifest.grid_digest)
-    owned = manifest.shard_cells(shard)
     pending = [(i, cell) for i, cell in owned if i not in done]
     # One build per referenced instance, shared by every pending cell.
-    prebuild_instances([cell for _, cell in pending])
+    prebuild_instances(
+        [cell for _, cell in pending],
+        prewarm_csr=(manifest.inner == "vectorized"),
+    )
     executed = 0
     with open(path, "a", encoding="utf-8") as handle:
         for index, cell in pending:
@@ -411,11 +448,12 @@ def shard_status(
     """``(shard, done, total)`` per shard, from the checkpoints."""
     status = []
     for shard in range(manifest.num_shards):
+        owned = manifest.shard_indices(shard)
         done, _ = _read_checkpoint(
             checkpoint_path(checkpoint_dir, shard),
             manifest.grid_digest,
+            owned=owned,
         )
-        owned = manifest.shard_indices(shard)
         status.append(
             (shard, sum(1 for i in owned if i in done), len(owned))
         )
@@ -436,6 +474,7 @@ def merge_shards(
         done, _ = _read_checkpoint(
             checkpoint_path(checkpoint_dir, shard),
             manifest.grid_digest,
+            owned=manifest.shard_indices(shard),
         )
         for index in manifest.shard_indices(shard):
             if index in done:

@@ -75,6 +75,12 @@ class SweepCell:
     #: Workload registry key; when set, ``nodes``/``edges`` stay empty
     #: and the instance resolves through the cache.
     workload: Optional[str] = None
+    #: Node/edge attributes of ad-hoc payloads, in canonical hashable
+    #: form: ``((node, ((key, value), ...)), ...)`` sorted by node and
+    #: ``(((u, v), ((key, value), ...)), ...)`` sorted by edge.  Empty
+    #: for attribute-free graphs, so old pickles/JSON stay valid.
+    node_attrs: Tuple = ()
+    edge_attrs: Tuple = ()
 
     @staticmethod
     def from_graph(
@@ -93,6 +99,20 @@ class SweepCell:
                 sorted(tuple(sorted(e)) for e in graph.edges)
             ),
             policy=policy,
+            node_attrs=tuple(
+                sorted(
+                    (v, tuple(sorted(data.items())))
+                    for v, data in graph.nodes(data=True)
+                    if data
+                )
+            ),
+            edge_attrs=tuple(
+                sorted(
+                    (tuple(sorted((u, v))), tuple(sorted(data.items())))
+                    for u, v, data in graph.edges(data=True)
+                    if data and u != v
+                )
+            ),
         )
 
     @staticmethod
@@ -121,7 +141,14 @@ class SweepCell:
         if self.workload is not None:
             return cache.get(self.workload, self.seed)
         return cache.intern(
-            self.scenario, self.seed, self.nodes, self.edges
+            self.scenario,
+            self.seed,
+            self.nodes,
+            self.edges,
+            node_attrs={v: dict(items) for v, items in self.node_attrs},
+            edge_attrs={
+                edge: dict(items) for edge, items in self.edge_attrs
+            },
         )
 
     def graph(self) -> nx.Graph:
@@ -228,7 +255,9 @@ def run_cell(cell: SweepCell, inner: str = "fastpath") -> CellResult:
 
 
 def prebuild_instances(
-    cells: Sequence[SweepCell], prewarm_square: bool = False
+    cells: Sequence[SweepCell],
+    prewarm_square: bool = False,
+    prewarm_csr: bool = False,
 ) -> List:
     """Build (once, via the cache) every instance a grid references.
 
@@ -237,7 +266,8 @@ def prebuild_instances(
     :meth:`SweepBackend.map` ships to process-pool workers.  With
     ``prewarm_square`` the G² adjacency is computed in the parent too,
     so workers never rebuild it (the conformance contract checks are
-    the consumer).
+    the consumer); ``prewarm_csr`` does the same for the CSR arrays
+    the ``vectorized`` engine consumes.
     """
     seen = {}
     for cell in cells:
@@ -247,7 +277,15 @@ def prebuild_instances(
         if cell.workload is not None:
             key = ("workload", cell.workload, cell.seed)
         else:
-            key = ("adhoc", cell.scenario, cell.seed, cell.nodes, cell.edges)
+            key = (
+                "adhoc",
+                cell.scenario,
+                cell.seed,
+                cell.nodes,
+                cell.edges,
+                cell.node_attrs,
+                cell.edge_attrs,
+            )
         if key in seen:
             continue
         seen[key] = cell.instance()
@@ -256,6 +294,8 @@ def prebuild_instances(
         instance.delta  # noqa: B018 - memoize before pickling
         if prewarm_square:
             instance.d2_adjacency()
+        if prewarm_csr:
+            instance.csr()
     return instances
 
 
@@ -358,7 +398,9 @@ class SweepBackend(ExecutionBackend):
         process pools; via the common cache otherwise).
         """
         instances = prebuild_instances(
-            cells, prewarm_square=prewarm_square
+            cells,
+            prewarm_square=prewarm_square,
+            prewarm_csr=(self.inner == "vectorized"),
         )
         results = self.map(
             _CellRunner(self.inner), cells, instances=instances

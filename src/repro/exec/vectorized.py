@@ -1,0 +1,512 @@
+"""The vectorized array-engine execution backend.
+
+Struct-of-arrays execution for the hottest registry pipelines: node
+state lives in numpy int arrays (colors, candidates, palettes,
+liveness, MIS state) and every round is a batch of array operations
+over the CSR-form G/G² adjacency from :mod:`repro.exec.arrays` —
+there is no per-node generator dispatch in the hot loop at all.
+
+Semantics are *identical* to ``reference``/``fastpath`` — same
+outputs, same round counts, same per-node RNG consumption (kernels
+draw from the very same ``network.contexts[v].rng`` streams the
+generators would), and bit-identical ``RunMetrics`` under metered
+policies.  Like fastpath, UNBOUNDED runs skip message *sizing*
+(``total_bits``/``max_message_bits`` stay 0).
+
+Coverage is per program class, not per call site: a kernel exists for
+the randomized trial/slack pipeline (:class:`TrialProgram`) and for
+Luby distance-k MIS (:class:`LubyDistanceKProgram`).  Everything else
+— and every run a kernel cannot replay exactly (custom ``stop_when``
+monitors, ``avoid_known`` candidate selection, self-loop graphs,
+metered payloads that could exceed the budget, rank values that could
+leave int64) — falls back to ``fastpath`` automatically, so
+``backend="vectorized"`` is always safe to request.  The guarantees
+are enforced by ``tests/test_backend_equivalence.py`` and
+``tests/test_exec_vectorized.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Type
+
+from repro.baselines.luby import (
+    _STATE_DOMINATED,
+    _STATE_IN_MIS,
+    _STATE_LIVE,
+    _TAG_RANK,
+    LubyDistanceKProgram,
+    _all_decided,
+)
+from repro.baselines.trial import TrialProgram
+from repro.congest.errors import NonterminationError
+from repro.congest.message import bit_size, int_bits
+from repro.congest.metrics import RunMetrics
+from repro.congest.policy import BandwidthMode
+from repro.core.trying import TAG_ADOPT, TAG_TRY, TAG_VERDICT, all_colored
+from repro.exec.base import ExecutionBackend
+
+try:  # numpy/scipy are required deps, but degrade gracefully without
+    import numpy as np
+
+    from repro.exec import arrays
+except ImportError:  # pragma: no cover - container always has numpy
+    np = None
+    arrays = None
+
+#: Values any node ever sends stay strictly inside int64 under this
+#: bound, and every array comparison is exact.
+_INT64_SAFE = 2**62
+
+#: Program class -> kernel.  A kernel returns a RunResult, or None to
+#: decline the run (fastpath then executes it).
+KERNELS: Dict[Type, Callable] = {}
+
+
+def register_kernel(program_cls: Type):
+    def deco(fn):
+        KERNELS[program_cls] = fn
+        return fn
+
+    return deco
+
+
+def kernel_coverage() -> Dict[str, str]:
+    """``{program class name: kernel name}`` — the coverage table."""
+    return {cls.__name__: fn.__name__ for cls, fn in KERNELS.items()}
+
+
+class VectorizedBackend(ExecutionBackend):
+    """Array-kernel executor with automatic fastpath fallback."""
+
+    name = "vectorized"
+
+    def execute(
+        self,
+        network,
+        *,
+        max_rounds: int = 1_000_000,
+        stop_when: Optional[Callable] = None,
+        raise_on_timeout: bool = True,
+        record_rounds: bool = False,
+    ):
+        if (
+            np is not None
+            and not record_rounds
+            and not network._started
+            and len(network._generators) == len(network.programs)
+        ):
+            classes = {
+                type(program)
+                for program in network.programs.values()
+            }
+            if len(classes) == 1:
+                kernel = KERNELS.get(classes.pop())
+                if kernel is not None:
+                    result = kernel(
+                        network,
+                        max_rounds=max_rounds,
+                        stop_when=stop_when,
+                        raise_on_timeout=raise_on_timeout,
+                    )
+                    if result is not None:
+                        return result
+        from repro.exec import get_backend
+
+        return get_backend("fastpath").execute(
+            network,
+            max_rounds=max_rounds,
+            stop_when=stop_when,
+            raise_on_timeout=raise_on_timeout,
+            record_rounds=record_rounds,
+        )
+
+
+def _finish(network, rounds, total_messages, total_bits,
+            max_message_bits, executed, stopped_early, timed_out,
+            max_rounds, raise_on_timeout):
+    """Shared tail: mirror reference's started flag, timeout raise,
+    and result assembly."""
+    from repro.congest.network import RunResult
+
+    if executed > 0:
+        network._started = True
+    if timed_out and raise_on_timeout:
+        raise NonterminationError(
+            max_rounds, set(network.programs)
+        )
+    metrics = RunMetrics(
+        rounds=rounds,
+        total_messages=total_messages,
+        total_bits=total_bits,
+        max_message_bits=max_message_bits,
+        budget_bits=network._budget,
+        violations=0,
+        worst_violation_bits=0,
+    )
+    return RunResult(
+        outputs=dict(network.outputs),
+        metrics=metrics,
+        halted=False,
+        stopped_early=stopped_early,
+        programs=network.programs,
+    )
+
+
+# ----------------------------------------------------------------------
+# trial / trial-slack: the 3-round try-phase pipeline
+
+
+@register_kernel(TrialProgram)
+def _trial_kernel(network, *, max_rounds, stop_when, raise_on_timeout):
+    """Vectorized :class:`TrialProgram` (the whole try/verdict/adopt
+    exchange of ``core.trying`` as three array steps per phase).
+
+    The verdict logic collapses exactly: a live trier ``u`` with
+    candidate ``c`` adopts iff no G-neighbor *has* color ``c`` (true
+    colors — a server's own color is free information), no d2-neighbor
+    has *announced* ``c`` during this run (only announced colors reach
+    distance 2; precolored nodes never announce), and no other live
+    d2-neighbor drew ``c`` this same phase.
+    """
+    if stop_when is not None and stop_when is not all_colored:
+        return None
+    csr = arrays.csr_for_graph(network.graph)
+    if csr.has_selfloops:
+        return None
+    n = csr.n
+    order = csr.order
+    programs = network.programs
+
+    palettes = np.empty(n, dtype=np.int64)
+    colors = np.full(n, -1, dtype=np.int64)
+    rngs = []
+    for i, node in enumerate(order):
+        program = programs[node]
+        if program.avoid_known or program.nbr_colors:
+            return None
+        palette = program.palette
+        if (
+            not isinstance(palette, int)
+            or palette <= 0
+            or palette >= _INT64_SAFE
+        ):
+            return None
+        palettes[i] = palette
+        color = program.color
+        if color is not None:
+            if not isinstance(color, int) or abs(color) >= _INT64_SAFE:
+                return None
+            colors[i] = color
+        rngs.append(program.ctx.rng)
+    if (colors >= 0).sum() != sum(
+        1 for v in order if programs[v].color is not None
+    ):
+        return None  # a negative precolor breaks the -1 sentinel
+
+    mode = network.policy.mode
+    metered = mode is not BandwidthMode.UNBOUNDED
+    budget = network._budget
+    try_base = bit_size((TAG_TRY, 0)) - 1
+    adopt_base = bit_size((TAG_ADOPT, 0)) - 1
+    verdict_bits = bit_size((TAG_VERDICT, True))
+    if metered:
+        worst = int(palettes.max()) - 1
+        if (
+            max(
+                try_base + int_bits(worst),
+                adopt_base + int_bits(worst),
+                verdict_bits,
+            )
+            > budget
+        ):
+            return None  # could violate: replay exactly via fastpath
+
+    g_indptr, g_indices = csr.g_indptr, csr.g_indices
+    g2_indptr, g2_indices = csr.g2_indptr, csr.g2_indices
+    deg = csr.degrees
+    d2_deg = csr.d2_degrees
+
+    announced = np.zeros(n, dtype=bool)
+    adopt_iter = np.full(n, -1, dtype=np.int64)
+    phases_tried = np.zeros(n, dtype=np.int64)
+    cand = np.full(n, -1, dtype=np.int64)
+    adopt_idx = np.empty(0, dtype=np.int64)
+
+    total_messages = 0
+    total_bits = 0
+    max_message_bits = 0
+    rounds = 0
+    pending_verdicts = 0
+    stopped_early = False
+    timed_out = False
+    check_stop = stop_when is not None
+
+    r = 0
+    while True:
+        if check_stop and not (colors < 0).any():
+            stopped_early = True
+            break
+        if r >= max_rounds:
+            timed_out = True
+            break
+        k = r % 3
+        if k == 0:
+            live_idx = np.flatnonzero(colors < 0)
+            if live_idx.size == 0 and not check_stop:
+                # Everyone colored, no stop monitor: every remaining
+                # iteration is message-free local computation with the
+                # network still running, so it still counts a round.
+                rounds += max_rounds - r
+                r = max_rounds
+                timed_out = True
+                break
+            cand.fill(-1)
+            if live_idx.size:
+                cand[live_idx] = [
+                    rngs[i].randrange(int(palettes[i]))
+                    for i in live_idx.tolist()
+                ]
+                phases_tried[live_idx] += 1
+            send_deg = deg[live_idx]
+            msgs = int(send_deg.sum())
+            pending_verdicts = msgs
+            total_messages += msgs
+            if metered and msgs:
+                pb = try_base + arrays.int_bits_array(cand[live_idx])
+                total_bits += int((send_deg * pb).sum())
+                biggest = int(pb[send_deg > 0].max())
+                if biggest > max_message_bits:
+                    max_message_bits = biggest
+            # The phase's adoption outcome, decided on the state every
+            # verdict server will hold in round B (colors/announced
+            # only change at k == 2, never between here and there).
+            own_g = np.repeat(cand, deg)
+            conflict_g = arrays.row_any(
+                (own_g >= 0) & (colors[g_indices] == own_g),
+                g_indptr,
+            )
+            own_2 = np.repeat(cand, d2_deg)
+            known_2 = announced[g2_indices] & (
+                colors[g2_indices] == own_2
+            )
+            trying_2 = cand[g2_indices] == own_2
+            conflict_2 = arrays.row_any(
+                (own_2 >= 0) & (known_2 | trying_2), g2_indptr
+            )
+            adopt_idx = np.flatnonzero(
+                (cand >= 0) & ~(conflict_g | conflict_2)
+            )
+        elif k == 1:
+            total_messages += pending_verdicts
+            if metered and pending_verdicts:
+                total_bits += pending_verdicts * verdict_bits
+                if verdict_bits > max_message_bits:
+                    max_message_bits = verdict_bits
+        else:
+            send_deg = deg[adopt_idx]
+            msgs = int(send_deg.sum())
+            total_messages += msgs
+            if metered and msgs:
+                pb = adopt_base + arrays.int_bits_array(
+                    cand[adopt_idx]
+                )
+                total_bits += int((send_deg * pb).sum())
+                biggest = int(pb[send_deg > 0].max())
+                if biggest > max_message_bits:
+                    max_message_bits = biggest
+            colors[adopt_idx] = cand[adopt_idx]
+            announced[adopt_idx] = True
+            adopt_iter[adopt_idx] = r
+        rounds += 1
+        r += 1
+
+    # ------------------------------------------------------------------
+    # write observable program state back (color, phases_tried, and
+    # the 1-hop color tables the generators would have accumulated).
+    # An adopt sent at iteration t was recorded by neighbors at
+    # iteration t + 1, which executed iff t + 1 <= r - 1.
+    recorded = (adopt_iter >= 0) & (adopt_iter < r - 1)
+    for i, node in enumerate(order):
+        program = programs[node]
+        c = int(colors[i])
+        program.color = c if c >= 0 else None
+        program.phases_tried = int(phases_tried[i])
+        row = g_indices[g_indptr[i]:g_indptr[i + 1]]
+        program.nbr_colors = {
+            order[j]: int(colors[j])
+            for j in row[recorded[row]].tolist()
+        }
+    return _finish(
+        network, rounds, total_messages, total_bits,
+        max_message_bits, r, stopped_early, timed_out,
+        max_rounds, raise_on_timeout,
+    )
+
+
+# ----------------------------------------------------------------------
+# Luby distance-k MIS: k rounds of max-flooding + k domination rounds
+
+
+@register_kernel(LubyDistanceKProgram)
+def _luby_kernel(network, *, max_rounds, stop_when, raise_on_timeout):
+    """Vectorized :class:`LubyDistanceKProgram`.
+
+    Per 2k-round phase: live nodes draw ``rng.randrange(n³)·n + id``
+    (same streams, same order as the generators), ranks max-flood for
+    k broadcast rounds, the strict maximum within distance k joins,
+    and ``(D, hops)`` countdowns dominate the k-ball.  Messages sent
+    in round t are applied at the top of round t+1, exactly when the
+    generators would resume on that inbox — including the last
+    domination round of a phase, which lands at the next phase's first
+    resume *before* new ranks are drawn.
+    """
+    if stop_when is not None and stop_when is not _all_decided:
+        return None
+    csr = arrays.csr_for_graph(network.graph)
+    if csr.has_selfloops:
+        return None
+    n = csr.n
+    order = csr.order
+    programs = network.programs
+
+    ks = {programs[v].k for v in order}
+    if len(ks) != 1:
+        return None
+    k = ks.pop()
+    if not isinstance(k, int) or k < 1:
+        return None
+    if any(programs[v].state != _STATE_LIVE for v in order):
+        return None  # resumed/preseeded state: not a fresh run
+    max_label = max(abs(order[0]), abs(order[-1]))
+    if (n**3 - 1) * n + max_label >= _INT64_SAFE:
+        return None  # rank arithmetic could leave int64
+
+    mode = network.policy.mode
+    metered = mode is not BandwidthMode.UNBOUNDED
+    budget = network._budget
+    rank_base = bit_size((_TAG_RANK, 0)) - 1
+    dom_base = rank_base  # both tags are 1-char strings
+    if metered:
+        worst = rank_base + 1 + int_bits((n**3 - 1) * n + max_label)
+        if max(worst, dom_base + int_bits(k)) > budget:
+            return None
+
+    g_indptr, g_indices = csr.g_indptr, csr.g_indices
+    rngs = [programs[v].ctx.rng for v in order]
+    labels = np.array(order, dtype=np.int64)
+
+    LIVE, IN_MIS, DOM = 0, 1, 2
+    state = np.zeros(n, dtype=np.int8)
+    own = np.full(n, -1, dtype=np.int64)
+    best = np.full(n, -1, dtype=np.int64)
+    hops = np.zeros(n, dtype=np.int64)
+    joined = np.zeros(n, dtype=bool)
+    NEG = np.int64(-_INT64_SAFE)
+
+    phases = 0
+    total_messages = 0
+    total_bits = 0
+    max_message_bits = 0
+    rounds = 0
+    stopped_early = False
+    timed_out = False
+    check_stop = stop_when is not None
+    period = 2 * k
+    inflight = None  # ("rank"|"dom", values) sent one round ago
+    idle_bits = rank_base + 2  # bit_size((_TAG_RANK, -1))
+
+    r = 0
+    while True:
+        if check_stop and not (state == LIVE).any():
+            stopped_early = True
+            break
+        if r >= max_rounds:
+            timed_out = True
+            break
+        if inflight is not None:
+            tag, vals = inflight
+            inflight = None
+            if tag == "rank":
+                best = np.maximum(
+                    best,
+                    arrays.row_max(vals[g_indices], g_indptr, NEG),
+                )
+            else:
+                relay = np.where(vals > 0, vals, NEG)
+                nbr_max = arrays.row_max(
+                    relay[g_indices], g_indptr, NEG
+                )
+                has_in = nbr_max > NEG
+                state[has_in & (state == LIVE)] = DOM
+                hops = np.where(
+                    has_in,
+                    np.maximum(hops, nbr_max - 1),
+                    np.where(joined, hops, 0),
+                )
+        pos = r % period
+        if pos == 0:
+            live_idx = np.flatnonzero(state == LIVE)
+            if live_idx.size == 0 and not check_stop:
+                # Decided network, no stop monitor: each remaining
+                # phase is k rounds of n ``(K, -1)`` broadcasts then k
+                # silent rounds, forever.
+                remaining = max_rounds - r
+                full, part = divmod(remaining, period)
+                phases += full + (1 if part else 0)
+                flood = full * k + min(part, k)
+                total_messages += flood * n
+                if metered and flood:
+                    total_bits += flood * n * idle_bits
+                    if idle_bits > max_message_bits:
+                        max_message_bits = idle_bits
+                rounds += remaining
+                r = max_rounds
+                timed_out = True
+                break
+            phases += 1
+            own.fill(-1)
+            n3 = n**3
+            own[live_idx] = [
+                rngs[i].randrange(n3) * n + int(labels[i])
+                for i in live_idx.tolist()
+            ]
+            best = own.copy()
+        if pos < k:
+            # flood round: every node broadcasts (K, best)
+            total_messages += n
+            if metered:
+                pb = rank_base + arrays.int_bits_array(best)
+                total_bits += int(pb.sum())
+                biggest = int(pb.max())
+                if biggest > max_message_bits:
+                    max_message_bits = biggest
+            inflight = ("rank", best.copy())
+        else:
+            if pos == k:
+                joined = (state == LIVE) & (best == own)
+                state[joined] = IN_MIS
+                hops = np.where(joined, k, 0).astype(np.int64)
+            senders = hops > 0
+            count = int(senders.sum())
+            total_messages += count
+            if metered and count:
+                pb = dom_base + arrays.int_bits_array(hops[senders])
+                total_bits += int(pb.sum())
+                biggest = int(pb.max())
+                if biggest > max_message_bits:
+                    max_message_bits = biggest
+            inflight = ("dom", np.where(senders, hops, 0))
+        rounds += 1
+        r += 1
+
+    names = {LIVE: _STATE_LIVE, IN_MIS: _STATE_IN_MIS,
+             DOM: _STATE_DOMINATED}
+    for i, node in enumerate(order):
+        program = programs[node]
+        program.state = names[int(state[i])]
+        program.phases = phases
+    return _finish(
+        network, rounds, total_messages, total_bits,
+        max_message_bits, r, stopped_early, timed_out,
+        max_rounds, raise_on_timeout,
+    )

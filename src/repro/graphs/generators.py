@@ -38,6 +38,16 @@ def gnp(n: int, p: float, seed: int = 0) -> nx.Graph:
     return ensure_int_labels(nx.gnp_random_graph(n, p, seed=seed))
 
 
+def gnp_fast(n: int, p: float, seed: int = 0) -> nx.Graph:
+    """Erdős–Rényi G(n, p) via the O(n + m) geometric-skip sampler.
+
+    Same distribution as :func:`gnp`, different sample for the same
+    seed — used for the huge tier, where the O(n²) sampler takes
+    minutes.
+    """
+    return ensure_int_labels(nx.fast_gnp_random_graph(n, p, seed=seed))
+
+
 def unit_disk(
     n: int,
     radius: float,

@@ -1177,13 +1177,14 @@ def e21_backends(
     )
     largest = built[-1][0]
     spec_names = ("trial", "naive-g2")
+    backends = ("reference", "fastpath", "vectorized")
     best: Dict[tuple, float] = {}
     for scenario, graph in (built[0], built[-1]):
         n = graph.number_of_nodes()
         for spec_name in spec_names:
             spec = registry.get_algorithm(spec_name)
             results = {}
-            for backend in ("reference", "fastpath"):
+            for backend in backends:
                 walls = []
                 for _ in range(timing_repeats):
                     t0 = time.perf_counter()
@@ -1203,18 +1204,18 @@ def e21_backends(
                     result.metrics.total_messages,
                     result.colors_used,
                 )
-            reference, fastpath = (
-                results["reference"],
-                results["fastpath"],
-            )
-            table.add_check(
-                f"{scenario.name}/{spec_name}: identical colorings",
-                reference.coloring == fastpath.coloring,
-            )
-            table.add_check(
-                f"{scenario.name}/{spec_name}: identical rounds",
-                reference.rounds == fastpath.rounds,
-            )
+            reference = results["reference"]
+            for backend in backends[1:]:
+                table.add_check(
+                    f"{scenario.name}/{spec_name}: {backend} "
+                    "coloring identical to reference",
+                    reference.coloring == results[backend].coloring,
+                )
+                table.add_check(
+                    f"{scenario.name}/{spec_name}: {backend} rounds "
+                    "identical to reference",
+                    reference.rounds == results[backend].rounds,
+                )
     for spec_name in spec_names:
         table.add_check(
             f"{largest.name}/{spec_name}: fastpath beats reference "
@@ -1222,6 +1223,13 @@ def e21_backends(
             best[(largest.name, spec_name, "fastpath")]
             < best[(largest.name, spec_name, "reference")],
         )
+    # The trial pipeline has a vectorized kernel; the array engine
+    # must beat the per-node fast path where it applies.
+    table.add_check(
+        f"{largest.name}/trial: vectorized beats fastpath wall-clock",
+        best[(largest.name, "trial", "vectorized")]
+        < best[(largest.name, "trial", "fastpath")],
+    )
 
     # Sweep determinism: the same grid, serial vs fanned out.
     cells = grid_cells(

@@ -38,6 +38,44 @@ def canonical_nodes_edges(
     return nodes, edges
 
 
+def canonical_payload(
+    nodes: Iterable[Any], edges: Iterable[Tuple[Any, Any]]
+) -> Tuple[Tuple[Any, ...], Tuple[Tuple[Any, Any], ...]]:
+    """Normalize a caller-supplied payload to the canonical form:
+    sorted unique nodes (endpoints included), sorted deduplicated
+    undirected edges, self-loops dropped.  Without this, duplicate or
+    reversed edges inflate :attr:`Instance.delta` (degree is summed
+    over the raw edge list) and the same graph gets two different
+    content digests."""
+    node_set = set(nodes)
+    edge_set = set()
+    for u, v in edges:
+        if u == v:
+            continue
+        if v < u:
+            u, v = v, u
+        edge_set.add((u, v))
+        node_set.add(u)
+        node_set.add(v)
+    return tuple(sorted(node_set)), tuple(sorted(edge_set))
+
+
+def extract_attrs(
+    graph: nx.Graph,
+) -> Tuple[Dict[Any, Dict], Dict[Tuple, Dict]]:
+    """Node/edge attribute dicts in the separately-carried form
+    :class:`Instance` reapplies after a process or shard boundary."""
+    node_attrs = {
+        v: dict(data) for v, data in graph.nodes(data=True) if data
+    }
+    edge_attrs = {
+        tuple(sorted((u, v))): dict(data)
+        for u, v, data in graph.edges(data=True)
+        if data
+    }
+    return node_attrs, edge_attrs
+
+
 class Instance:
     """One built workload instance plus its memoized derived artifacts.
 
@@ -68,6 +106,7 @@ class Instance:
         "_d2_adjacency",
         "_d2_degrees",
         "_square",
+        "_csr",
         "_digest",
         "_stats",
     )
@@ -99,6 +138,7 @@ class Instance:
         self._d2_adjacency: Optional[Dict[Any, frozenset]] = None
         self._d2_degrees: Optional[Dict[Any, int]] = None
         self._square: Optional[nx.Graph] = None
+        self._csr = None
         self._digest: Optional[str] = None
         #: Stats of the owning cache (bound on get/intern/install) so
         #: derivation counters land where the instance lives.
@@ -114,14 +154,7 @@ class Instance:
         registered: bool = False,
     ) -> "Instance":
         nodes, edges = canonical_nodes_edges(graph)
-        node_attrs = {
-            v: dict(data) for v, data in graph.nodes(data=True) if data
-        }
-        edge_attrs = {
-            tuple(sorted((u, v))): dict(data)
-            for u, v, data in graph.edges(data=True)
-            if data
-        }
+        node_attrs, edge_attrs = extract_attrs(graph)
         return cls(
             workload,
             seed,
@@ -141,9 +174,23 @@ class Instance:
         return (self.workload, self.params, self.seed)
 
     def digest(self) -> str:
-        """Content address: sha256 over the canonical payload."""
+        """Content address: sha256 over the canonical payload plus
+        the carried attributes (two topologically equal graphs with
+        different edge weights are different content)."""
         if self._digest is None:
-            payload = repr((self.nodes, self.edges)).encode("utf-8")
+            attrs = (
+                tuple(sorted(
+                    (v, tuple(sorted(data.items())))
+                    for v, data in self._node_attrs.items()
+                )),
+                tuple(sorted(
+                    (edge, tuple(sorted(data.items())))
+                    for edge, data in self._edge_attrs.items()
+                )),
+            )
+            payload = repr(
+                (self.nodes, self.edges, attrs)
+            ).encode("utf-8")
             self._digest = hashlib.sha256(payload).hexdigest()
         return self._digest
 
@@ -163,6 +210,12 @@ class Instance:
                 if graph.has_edge(u, v):
                     graph.edges[u, v].update(data)
             self._graph = graph
+            if self._csr is not None:
+                # A shipped CSR artifact must be reachable from the
+                # rebuilt graph object, not just from the instance.
+                from repro.exec.arrays import register_csr
+
+                register_csr(graph, self._csr)
         return self._graph
 
     @property
@@ -211,6 +264,21 @@ class Instance:
     def max_d2_degree(self) -> int:
         return max(self.d2_degrees().values(), default=0)
 
+    def csr(self):
+        """The CSR-form G/G² adjacency arrays the ``vectorized``
+        backend executes over (see :mod:`repro.exec.arrays`),
+        computed once per instance and shipped prebuilt like
+        :meth:`d2_adjacency`.  Also seeds the per-graph-object
+        registry, so kernels running on :meth:`graph` find it."""
+        from repro.exec.arrays import build_csr, register_csr
+
+        if self._csr is None:
+            if self._stats is not None:
+                self._stats.csr_builds += 1
+            self._csr = build_csr(self.graph())
+        register_csr(self.graph(), self._csr)
+        return self._csr
+
     # -- pickling: ship computed artifacts, drop rebuildable objects -----
 
     def __getstate__(self):
@@ -226,6 +294,7 @@ class Instance:
             "delta": self._delta,
             "d2_adjacency": self._d2_adjacency,
             "d2_degrees": self._d2_degrees,
+            "csr": self._csr,
             "digest": self._digest,
         }
 
@@ -243,6 +312,7 @@ class Instance:
         self._delta = state["delta"]
         self._d2_adjacency = state["d2_adjacency"]
         self._d2_degrees = state["d2_degrees"]
+        self._csr = state.get("csr")
         self._digest = state["digest"]
         self._stats = None
 
@@ -261,6 +331,7 @@ class CacheStats:
     misses: int = 0
     builds: int = 0
     square_builds: int = 0
+    csr_builds: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -268,6 +339,7 @@ class CacheStats:
             "misses": self.misses,
             "builds": self.builds,
             "square_builds": self.square_builds,
+            "csr_builds": self.csr_builds,
         }
 
 
@@ -386,10 +458,36 @@ class InstanceCache:
         seed: int,
         nodes: Tuple[Any, ...],
         edges: Tuple[Tuple[Any, Any], ...],
+        node_attrs: Optional[Dict[Any, Dict]] = None,
+        edge_attrs: Optional[Dict[Tuple, Dict]] = None,
     ) -> Instance:
         """The cached instance for an ad-hoc (unregistered) payload,
-        content-addressed so equal payloads share artifacts."""
-        probe = Instance(name, seed, tuple(nodes), tuple(edges))
+        content-addressed so equal payloads share artifacts.
+
+        The payload is canonicalized first (duplicate/reversed edges
+        and self-loops would otherwise inflate ``delta`` and split
+        the content address), and node/edge attributes are carried on
+        the instance so they survive pickling to workers and shards.
+        """
+        nodes, edges = canonical_payload(nodes, edges)
+        node_attrs = {
+            v: dict(data)
+            for v, data in (node_attrs or {}).items()
+            if data
+        }
+        edge_attrs = {
+            tuple(sorted((u, v))): dict(data)
+            for (u, v), data in (edge_attrs or {}).items()
+            if data and u != v
+        }
+        probe = Instance(
+            name,
+            seed,
+            nodes,
+            edges,
+            node_attrs=node_attrs,
+            edge_attrs=edge_attrs,
+        )
         key = ("adhoc", name, seed, probe.digest())
         hit = self._lookup(key)
         if hit is not None:
@@ -402,8 +500,21 @@ class InstanceCache:
         self, name: str, seed: int, graph: nx.Graph
     ) -> Instance:
         nodes, edges = canonical_nodes_edges(graph)
-        instance = self.intern(name, seed, nodes, edges)
-        if instance._graph is None:
+        node_attrs, edge_attrs = extract_attrs(graph)
+        instance = self.intern(
+            name,
+            seed,
+            nodes,
+            edges,
+            node_attrs=node_attrs,
+            edge_attrs=edge_attrs,
+        )
+        if (
+            instance._graph is None
+            and nx.number_of_selfloops(graph) == 0
+        ):
+            # Self-loop graphs were canonicalized away from the
+            # caller's object — let graph() rebuild those instead.
             instance._graph = graph
         return instance
 
@@ -412,29 +523,33 @@ class InstanceCache:
     def install(self, instances: Iterable[Instance]) -> int:
         """Adopt prebuilt instances (pool-initializer path).
 
-        Each instance lands under its registry key and its ad-hoc
-        content key; instances built from a *registered* workload
-        additionally get an ``("installed", name, seed)`` alias, so a
-        worker resolves workload-keyed cells even when the workload
-        is registered only in the parent.  Ad-hoc instances never get
-        that alias — a name collision with a workload must not let a
-        workload-keyed cell resolve to an ad-hoc graph.
+        Instances built from a *registered* workload land under their
+        registry key, an ad-hoc content alias, and an
+        ``("installed", name, seed)`` alias, so a worker resolves
+        workload-keyed cells even when the workload is registered
+        only in the parent.  Ad-hoc instances live *only* in the
+        ad-hoc content namespace — storing them under the bare
+        ``(name, params, seed)`` registry key would collide with (and
+        evict or shadow) a same-named registered workload with empty
+        params, and a name collision must never let a workload-keyed
+        cell resolve to an ad-hoc graph.
         """
         count = 0
         for instance in instances:
-            aliases = [
-                (
-                    "adhoc",
-                    instance.workload,
-                    instance.seed,
-                    instance.digest(),
-                ),
-            ]
+            content_key = (
+                "adhoc",
+                instance.workload,
+                instance.seed,
+                instance.digest(),
+            )
             if instance.registered:
-                aliases.append(
-                    ("installed", instance.workload, instance.seed)
+                aliases = (
+                    content_key,
+                    ("installed", instance.workload, instance.seed),
                 )
-            self._store(instance.key, instance, tuple(aliases))
+                self._store(instance.key, instance, aliases)
+            else:
+                self._store(content_key, instance)
             count += 1
         return count
 

@@ -35,6 +35,7 @@ from repro.graphs.generators import (
     disconnected_mix,
     double_star,
     gnp,
+    gnp_fast,
     grid,
     high_girth,
     multileaf,
@@ -266,6 +267,30 @@ _w(
     {"n": 4096, "p": 2.5 / 4096},
     "huge", "random", "sparse", n_bound=4096,
     description="Huge sparse G(n,p) for throughput work (opt-in)",
+)
+_w(
+    "gnp-huge-16384", "gnp",
+    lambda seed, n, p: gnp_fast(n, p, seed=seed),
+    {"n": 16384, "p": 2.5 / 16384},
+    "huge", "random", "sparse", n_bound=16384,
+    description="Huge sparse G(n,p), n=2^14 — the vectorized engine's "
+    "home regime (opt-in)",
+)
+_w(
+    "rr4-huge-16384", "regular",
+    lambda seed, degree, n: random_regular(degree, n, seed=seed),
+    {"degree": 4, "n": 16384},
+    "huge", "regular", n_bound=16384, delta_bound=4,
+    description="Huge 4-regular graph for vectorized throughput work "
+    "(opt-in)",
+)
+_w(
+    "gnp-huge-65536", "gnp",
+    lambda seed, n, p: gnp_fast(n, p, seed=seed),
+    {"n": 65536, "p": 2.0 / 65536},
+    "huge", "random", "sparse", n_bound=65536,
+    description="Huge sparse G(n,p), n=2^16 — pushes toward the "
+    "related-work n≈10⁵ regime (opt-in)",
 )
 
 # -- named extremal instances (ex graphs.instances.named_instance) ------

@@ -1,11 +1,14 @@
-"""Cross-backend equivalence: reference vs fastpath, full registry.
+"""Cross-backend equivalence: reference vs fastpath/vectorized,
+full registry.
 
 The execution backends promise *identical semantics*: for every
 registered algorithm on every conformance scenario with the same
-seed, ``reference`` and ``fastpath`` must produce the same coloring,
-the same round count, and — under a metered policy — bit-identical
-bandwidth metrics.  This suite is what lets every other layer treat
-``backend=`` as a pure performance knob.
+seed, ``reference``, ``fastpath``, and ``vectorized`` must produce
+the same coloring, the same round count, and — under a metered
+policy — bit-identical bandwidth metrics.  This suite is what lets
+every other layer treat ``backend=`` as a pure performance knob.
+(``vectorized`` covers both its kernels — trial, Luby — and its
+fastpath fallback for every other spec.)
 """
 
 import pytest
@@ -18,6 +21,7 @@ SEED = 7
 
 _CORPUS = build_corpus()
 _SPECS = list(registry.ALGORITHMS)
+_FAST_BACKENDS = ["fastpath", "vectorized"]
 
 
 def _metrics_tuple(metrics):
@@ -33,13 +37,14 @@ def _metrics_tuple(metrics):
 
 
 @pytest.mark.conformance
+@pytest.mark.parametrize("backend", _FAST_BACKENDS)
 @pytest.mark.parametrize(
     "scenario", _CORPUS, ids=corpus_names(_CORPUS)
 )
 @pytest.mark.parametrize(
     "spec", _SPECS, ids=[s.name for s in _SPECS]
 )
-def test_reference_fastpath_equivalent(spec, scenario):
+def test_reference_fastpath_equivalent(spec, scenario, backend):
     """Same outputs, rounds, and metered metrics on both backends."""
     graph = scenario.graph(SEED)
     if not spec.applicable(graph):
@@ -49,31 +54,30 @@ def test_reference_fastpath_equivalent(spec, scenario):
     reference = spec.run(
         graph, seed=SEED, policy=policy, backend="reference"
     )
-    fastpath = spec.run(
-        graph, seed=SEED, policy=policy, backend="fastpath"
-    )
+    fast = spec.run(graph, seed=SEED, policy=policy, backend=backend)
 
-    assert reference.coloring == fastpath.coloring
-    assert reference.rounds == fastpath.rounds
-    assert reference.colors_used == fastpath.colors_used
-    assert reference.palette_size == fastpath.palette_size
+    assert reference.coloring == fast.coloring
+    assert reference.rounds == fast.rounds
+    assert reference.colors_used == fast.colors_used
+    assert reference.palette_size == fast.palette_size
     if spec.distributed:
         # TRACK is a metered policy: the fast path must meter
         # everything the reference meters, bit for bit.
         assert _metrics_tuple(reference.metrics) == _metrics_tuple(
-            fastpath.metrics
+            fast.metrics
         )
 
 
+@pytest.mark.parametrize("backend", _FAST_BACKENDS)
 @pytest.mark.parametrize(
     "spec",
     [s for s in _SPECS if s.distributed],
     ids=[s.name for s in _SPECS if s.distributed],
 )
-def test_unbounded_outputs_and_rounds_agree(spec):
-    """Under UNBOUNDED policies fastpath skips message *sizing* but
-    must still agree on everything observable: coloring, rounds, and
-    message counts."""
+def test_unbounded_outputs_and_rounds_agree(spec, backend):
+    """Under UNBOUNDED policies fastpath and vectorized skip message
+    *sizing* but must still agree on everything observable: coloring,
+    rounds, and message counts."""
     scenario = _CORPUS[0]
     graph = scenario.graph(SEED)
     if not spec.applicable(graph):
@@ -83,14 +87,12 @@ def test_unbounded_outputs_and_rounds_agree(spec):
     reference = spec.run(
         graph, seed=SEED, policy=policy, backend="reference"
     )
-    fastpath = spec.run(
-        graph, seed=SEED, policy=policy, backend="fastpath"
-    )
+    fast = spec.run(graph, seed=SEED, policy=policy, backend=backend)
 
-    assert reference.coloring == fastpath.coloring
-    assert reference.rounds == fastpath.rounds
+    assert reference.coloring == fast.coloring
+    assert reference.rounds == fast.rounds
     assert (
         reference.metrics.total_messages
-        == fastpath.metrics.total_messages
+        == fast.metrics.total_messages
     )
-    assert fastpath.metrics.violations == 0
+    assert fast.metrics.violations == 0

@@ -25,7 +25,7 @@ from repro.exec import (
     use_backend,
 )
 
-ROUND_BACKENDS = ["reference", "fastpath"]
+ROUND_BACKENDS = ["reference", "fastpath", "vectorized"]
 
 
 def proto_factory(fn):
@@ -49,6 +49,7 @@ class TestSelection:
         assert set(available_backends()) >= {
             "reference",
             "fastpath",
+            "vectorized",
             "sweep",
         }
 

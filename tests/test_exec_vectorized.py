@@ -1,0 +1,472 @@
+"""The vectorized array engine: kernels, fallbacks, CSR artifacts.
+
+`test_backend_equivalence.py` pins ``vectorized ≡ reference`` over
+the registry × corpus product; this module drills into the engine
+itself — exact parity on the awkward paths (round cutoffs, timeout
+fast-forwards, precoloring, program-state writeback), the automatic
+fastpath fallback for runs a kernel cannot replay, and the CSR
+adjacency artifact the kernels consume.
+"""
+
+import pickle
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.luby import (
+    LubyDistanceKProgram,
+    _all_decided,
+    check_distance_k_mis,
+    luby_distance_k_mis,
+)
+from repro.baselines.trial import TrialProgram, trial_d2_color
+from repro.congest.errors import (
+    BandwidthExceededError,
+    NonterminationError,
+)
+from repro.congest.message import int_bits
+from repro.congest.network import Network
+from repro.congest.policy import BandwidthPolicy
+from repro.core.trying import all_colored
+from repro.exec import use_backend
+from repro.exec.arrays import (
+    build_csr,
+    csr_for_graph,
+    int_bits_array,
+    row_any,
+    row_max,
+)
+from repro.exec.vectorized import kernel_coverage
+from repro.workloads.cache import InstanceCache
+
+
+def _metrics_tuple(metrics):
+    return (
+        metrics.rounds,
+        metrics.total_messages,
+        metrics.total_bits,
+        metrics.max_message_bits,
+        metrics.budget_bits,
+        metrics.violations,
+        metrics.worst_violation_bits,
+    )
+
+
+def _graphs():
+    disconnected = nx.disjoint_union(
+        nx.cycle_graph(5), nx.path_graph(4)
+    )
+    return {
+        "petersen": nx.petersen_graph(),
+        "gnp24": nx.gnp_random_graph(24, 0.2, seed=11),
+        "star": nx.star_graph(6),
+        "edgeless": nx.empty_graph(5),
+        "singleton": nx.path_graph(1),
+        "disconnected": disconnected,
+    }
+
+
+GRAPHS = _graphs()
+
+
+def _trial_network(graph, seed, policy=None, **data):
+    delta = max((d for _, d in graph.degree), default=0)
+    payload = {"palette": delta * delta + 1, **data}
+    inputs = {v: dict(payload) for v in graph.nodes}
+    return Network(
+        graph, TrialProgram, seed=seed, policy=policy, inputs=inputs
+    )
+
+
+def _luby_network(graph, seed, k=2, policy=None):
+    inputs = {v: {"k": k} for v in graph.nodes}
+    return Network(
+        graph,
+        LubyDistanceKProgram,
+        seed=seed,
+        policy=policy,
+        inputs=inputs,
+    )
+
+
+def _run_pair(make_network, backend="vectorized", **run_kwargs):
+    ref_net = make_network()
+    vec_net = make_network()
+    ref = ref_net.run(backend="reference", **run_kwargs)
+    vec = vec_net.run(backend=backend, **run_kwargs)
+    return (ref_net, ref), (vec_net, vec)
+
+
+def _assert_trial_parity(make_network, **run_kwargs):
+    (ref_net, ref), (vec_net, vec) = _run_pair(
+        make_network, **run_kwargs
+    )
+    assert vec.outputs == ref.outputs
+    assert vec.stopped_early == ref.stopped_early
+    assert _metrics_tuple(vec.metrics) == _metrics_tuple(ref.metrics)
+    for node in ref_net.programs:
+        rp, vp = ref_net.programs[node], vec_net.programs[node]
+        assert vp.color == rp.color, node
+        assert vp.phases_tried == rp.phases_tried, node
+        assert vp.nbr_colors == rp.nbr_colors, node
+    assert vec_net._started == ref_net._started
+
+
+def _assert_luby_parity(make_network, **run_kwargs):
+    (ref_net, ref), (vec_net, vec) = _run_pair(
+        make_network, **run_kwargs
+    )
+    assert vec.outputs == ref.outputs
+    assert vec.stopped_early == ref.stopped_early
+    assert _metrics_tuple(vec.metrics) == _metrics_tuple(ref.metrics)
+    for node in ref_net.programs:
+        rp, vp = ref_net.programs[node], vec_net.programs[node]
+        assert vp.state == rp.state, node
+        assert vp.phases == rp.phases, node
+
+
+class TestKernelCoverage:
+    def test_trial_and_luby_have_kernels(self):
+        coverage = kernel_coverage()
+        assert "TrialProgram" in coverage
+        assert "LubyDistanceKProgram" in coverage
+
+
+class TestTrialKernel:
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_track_parity(self, name, seed):
+        _assert_trial_parity(
+            lambda: _trial_network(
+                GRAPHS[name], seed, policy=BandwidthPolicy.track()
+            ),
+            max_rounds=5_000,
+            stop_when=all_colored,
+            raise_on_timeout=False,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_unbounded_observables_match_fastpath(self, seed):
+        # Under UNBOUNDED both engines skip sizing; they must agree
+        # with each other exactly (and with reference on outputs).
+        graph = GRAPHS["gnp24"]
+
+        def runs(backend):
+            net = _trial_network(graph, seed)
+            res = net.run(
+                backend=backend,
+                max_rounds=5_000,
+                stop_when=all_colored,
+                raise_on_timeout=False,
+            )
+            return res
+
+        fast, vec = runs("fastpath"), runs("vectorized")
+        assert vec.outputs == fast.outputs
+        assert _metrics_tuple(vec.metrics) == _metrics_tuple(
+            fast.metrics
+        )
+
+    @pytest.mark.parametrize("max_rounds", range(9))
+    def test_round_cutoff_parity(self, max_rounds):
+        _assert_trial_parity(
+            lambda: _trial_network(
+                GRAPHS["petersen"], 5, policy=BandwidthPolicy.track()
+            ),
+            max_rounds=max_rounds,
+            stop_when=all_colored,
+            raise_on_timeout=False,
+        )
+
+    def test_nontermination_raise_parity(self):
+        for backend in ("reference", "vectorized"):
+            with pytest.raises(NonterminationError):
+                _trial_network(GRAPHS["petersen"], 5).run(
+                    backend=backend,
+                    max_rounds=1,
+                    stop_when=all_colored,
+                    raise_on_timeout=True,
+                )
+
+    def test_no_stop_monitor_fast_forward_parity(self):
+        # stop_when=None: once everyone is colored the remaining
+        # rounds are message-free; the kernel fast-forwards them and
+        # must land on reference's exact metrics.
+        _assert_trial_parity(
+            lambda: _trial_network(
+                GRAPHS["petersen"], 2, policy=BandwidthPolicy.track()
+            ),
+            max_rounds=60,
+            stop_when=None,
+            raise_on_timeout=False,
+        )
+
+    def test_precolored_parity(self):
+        graph = GRAPHS["petersen"]
+
+        def make():
+            delta = 3
+            inputs = {
+                v: {"palette": 10, "color": v % 3 if v < 4 else None}
+                for v in graph.nodes
+            }
+            inputs = {
+                v: {k: x for k, x in d.items() if x is not None}
+                for v, d in inputs.items()
+            }
+            return Network(
+                graph,
+                TrialProgram,
+                seed=9,
+                policy=BandwidthPolicy.track(),
+                delta=delta,
+                inputs=inputs,
+            )
+
+        _assert_trial_parity(
+            make,
+            max_rounds=5_000,
+            stop_when=all_colored,
+            raise_on_timeout=False,
+        )
+
+    def test_driver_equivalence(self):
+        with use_backend("reference"):
+            ref = trial_d2_color(GRAPHS["gnp24"], seed=4)
+        with use_backend("vectorized"):
+            vec = trial_d2_color(GRAPHS["gnp24"], seed=4)
+        assert vec.coloring == ref.coloring
+        assert vec.rounds == ref.rounds
+
+
+class TestLubyKernel:
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_track_parity(self, name, k):
+        _assert_luby_parity(
+            lambda: _luby_network(
+                GRAPHS[name], 7, k=k, policy=BandwidthPolicy.track()
+            ),
+            max_rounds=5_000,
+            stop_when=_all_decided,
+            raise_on_timeout=False,
+        )
+
+    @pytest.mark.parametrize("max_rounds", range(13))
+    def test_round_cutoff_parity(self, max_rounds):
+        _assert_luby_parity(
+            lambda: _luby_network(
+                GRAPHS["gnp24"], 3, k=2, policy=BandwidthPolicy.track()
+            ),
+            max_rounds=max_rounds,
+            stop_when=_all_decided,
+            raise_on_timeout=False,
+        )
+
+    def test_no_stop_monitor_fast_forward_parity(self):
+        # The decided network keeps flooding (K, -1) broadcasts; the
+        # kernel's closed-form fast-forward must match reference.
+        _assert_luby_parity(
+            lambda: _luby_network(
+                GRAPHS["petersen"], 1, k=2,
+                policy=BandwidthPolicy.track(),
+            ),
+            max_rounds=41,
+            stop_when=None,
+            raise_on_timeout=False,
+        )
+
+    def test_driver_produces_valid_mis(self):
+        graph = GRAPHS["gnp24"]
+        with use_backend("vectorized"):
+            mis, _phases, _metrics = luby_distance_k_mis(
+                graph, k=2, seed=3
+            )
+        assert check_distance_k_mis(graph, mis, 2)
+
+
+class TestFallbacks:
+    """Runs the kernels must decline still execute correctly (via
+    fastpath) when ``backend="vectorized"`` is requested."""
+
+    def test_custom_stop_when_falls_back(self):
+        _assert_trial_parity(
+            lambda: _trial_network(
+                GRAPHS["petersen"], 1, policy=BandwidthPolicy.track()
+            ),
+            max_rounds=30,
+            stop_when=lambda net, rnd: False,
+            raise_on_timeout=False,
+        )
+
+    def test_avoid_known_falls_back(self):
+        _assert_trial_parity(
+            lambda: _trial_network(
+                GRAPHS["gnp24"],
+                2,
+                policy=BandwidthPolicy.track(),
+                avoid_known=True,
+            ),
+            max_rounds=5_000,
+            stop_when=all_colored,
+            raise_on_timeout=False,
+        )
+
+    def test_selfloop_graph_falls_back(self):
+        graph = nx.cycle_graph(5)
+        graph.add_edge(2, 2)
+
+        def make():
+            inputs = {v: {"palette": 9} for v in graph.nodes}
+            return Network(
+                graph,
+                TrialProgram,
+                seed=1,
+                policy=BandwidthPolicy.track(),
+                inputs=inputs,
+            )
+
+        _assert_trial_parity(
+            make,
+            max_rounds=12,
+            stop_when=all_colored,
+            raise_on_timeout=False,
+        )
+
+    def test_strict_tiny_budget_error_parity(self):
+        graph = nx.path_graph(3)
+        errors = {}
+        for backend in ("reference", "vectorized"):
+            with pytest.raises(BandwidthExceededError) as info:
+                _trial_network(
+                    graph,
+                    0,
+                    policy=BandwidthPolicy.strict(beta=1, min_bits=5),
+                ).run(
+                    backend=backend,
+                    max_rounds=100,
+                    stop_when=all_colored,
+                    raise_on_timeout=False,
+                )
+            errors[backend] = str(info.value)
+        assert errors["reference"] == errors["vectorized"]
+
+    def test_record_rounds_delegates(self):
+        net = _trial_network(
+            GRAPHS["petersen"], 3, policy=BandwidthPolicy.track()
+        )
+        result = net.run(
+            backend="vectorized",
+            max_rounds=5_000,
+            stop_when=all_colored,
+            raise_on_timeout=False,
+            record_rounds=True,
+        )
+        assert len(result.metrics.per_round) == result.metrics.rounds
+
+
+class TestArrays:
+    def test_csr_matches_networkx_neighborhoods(self):
+        graph = nx.gnp_random_graph(30, 0.15, seed=2)
+        csr = build_csr(graph)
+        for i, v in enumerate(csr.order):
+            row = set(
+                csr.order[j]
+                for j in csr.g_indices[
+                    csr.g_indptr[i]:csr.g_indptr[i + 1]
+                ]
+            )
+            assert row == set(graph.neighbors(v))
+            ball = set(
+                nx.single_source_shortest_path_length(
+                    graph, v, cutoff=2
+                )
+            ) - {v}
+            row2 = set(
+                csr.order[j]
+                for j in csr.g2_indices[
+                    csr.g2_indptr[i]:csr.g2_indptr[i + 1]
+                ]
+            )
+            assert row2 == ball
+
+    def test_csr_drops_selfloops_but_flags_them(self):
+        graph = nx.path_graph(4)
+        graph.add_edge(1, 1)
+        csr = build_csr(graph)
+        assert csr.has_selfloops
+        assert csr.degrees.tolist() == [1, 2, 2, 1]
+        for i in range(csr.n):
+            row2 = csr.g2_indices[
+                csr.g2_indptr[i]:csr.g2_indptr[i + 1]
+            ]
+            assert i not in row2.tolist()
+
+    def test_row_any_and_row_max_handle_empty_rows(self):
+        indptr = np.array([0, 2, 2, 5, 5], dtype=np.int64)
+        flags = np.array([0, 0, 1, 0, 0], dtype=bool)
+        assert row_any(flags, indptr).tolist() == [
+            False, False, True, False,
+        ]
+        values = np.array([4, 1, 9, 2, 7], dtype=np.int64)
+        assert row_max(values, indptr, -1).tolist() == [4, -1, 9, -1]
+
+    def test_int_bits_array_exact_across_int64(self):
+        values = [
+            0, 1, -1, 2, 7, 8, 255, 256, -257,
+            2**31 - 1, 2**31, 2**52, 2**53, 2**53 + 1,
+            2**61, 2**62 - 1, -(2**62 - 1),
+        ]
+        got = int_bits_array(np.array(values, dtype=np.int64))
+        assert got.tolist() == [int_bits(v) for v in values]
+
+    def test_graph_registry_is_per_object(self):
+        graph = nx.petersen_graph()
+        assert csr_for_graph(graph) is csr_for_graph(graph)
+        assert csr_for_graph(graph) is not csr_for_graph(
+            nx.petersen_graph()
+        )
+
+
+class TestInstanceCSRArtifact:
+    def test_csr_memoized_and_counted(self):
+        cache = InstanceCache()
+        instance = cache.intern(
+            "csr-probe", 0, tuple(range(6)),
+            tuple((i, i + 1) for i in range(5)),
+        )
+        assert cache.stats.csr_builds == 0
+        first = instance.csr()
+        assert instance.csr() is first
+        assert cache.stats.csr_builds == 1
+
+    def test_pickle_ships_csr_and_seeds_graph_registry(self):
+        cache = InstanceCache()
+        instance = cache.intern(
+            "csr-ship", 1, tuple(range(6)),
+            tuple((i, i + 1) for i in range(5)),
+        )
+        instance.csr()
+        clone = pickle.loads(pickle.dumps(instance))
+        receiver = InstanceCache()
+        receiver.install([clone])
+        assert clone._csr is not None
+        # graph() must seed the per-graph registry with the shipped
+        # artifact, so vectorized runs on the clone never rebuild.
+        assert csr_for_graph(clone.graph()) is clone._csr
+        assert receiver.stats.csr_builds == 0
+
+
+@pytest.mark.slow
+class TestHugeTier:
+    def test_vectorized_matches_fastpath_on_huge_gnp(self):
+        from repro import registry
+        from repro.workloads import instance_cache
+
+        graph = instance_cache().get("gnp-huge-16384", 0).graph()
+        spec = registry.get_algorithm("trial")
+        fast = spec.run(graph, seed=0, backend="fastpath")
+        vec = spec.run(graph, seed=0, backend="vectorized")
+        assert vec.coloring == fast.coloring
+        assert vec.rounds == fast.rounds

@@ -264,6 +264,153 @@ def _probe_worker_cache(cell):
     )
 
 
+class TestCheckpointOwnership:
+    """Regression: ``_read_checkpoint`` used to accept digest-stamped
+    records for indices the shard does not own, so ``resumed`` (and
+    ``ShardRun.complete``) could report done work that never ran."""
+
+    def test_foreign_shard_records_do_not_count_as_resumed(
+        self, tmp_path, unsharded
+    ):
+        import shutil
+
+        manifest = compile_manifest(small_grid(), 2)
+        run_shard(manifest, 1, str(tmp_path))
+        # Another shard's checkpoint copied into shard 0's slot: same
+        # grid digest, entirely foreign indices.
+        shutil.copy(
+            checkpoint_path(str(tmp_path), 1),
+            checkpoint_path(str(tmp_path), 0),
+        )
+        probe = run_shard(manifest, 0, str(tmp_path), max_cells=0)
+        assert probe.resumed == 0  # nothing owned is actually done
+        assert not probe.complete
+        assert shard_status(manifest, str(tmp_path))[0][1] == 0
+
+        full = run_shard(manifest, 0, str(tmp_path))
+        assert full.complete and full.executed == full.total
+        merged = merge_shards(manifest, str(tmp_path))
+        assert merged.fingerprint() == unsharded.fingerprint()
+
+    def test_out_of_range_indices_are_discarded(
+        self, tmp_path, unsharded
+    ):
+        from repro.exec.shards import _checkpoint_record
+
+        manifest = compile_manifest(small_grid(), 2)
+        run_shard(manifest, 0, str(tmp_path), max_cells=2)
+        path = checkpoint_path(str(tmp_path), 0)
+        # A digest-stamped record for an index past the grid (a reused
+        # directory whose old grid was longer, same digest by luck).
+        with open(path, "a", encoding="utf-8") as handle:
+            record = _checkpoint_record(
+                10_000,
+                unsharded.cells[0],
+                manifest.grid_digest,
+            )
+            handle.write(record + "\n")
+        resumed = run_shard(manifest, 0, str(tmp_path))
+        assert resumed.resumed == 2
+        assert resumed.complete
+        run_shard(manifest, 1, str(tmp_path))
+        merged = merge_shards(manifest, str(tmp_path))
+        assert merged.fingerprint() == unsharded.fingerprint()
+
+
+class TestAttributeCarryingCells:
+    """Regression: ad-hoc cells used to drop node/edge attributes, so
+    weighted graphs silently lost their weights on any worker that
+    rebuilt the instance from the cell payload."""
+
+    def _weighted_graph(self):
+        from repro import graphs
+
+        return graphs.weighted_gnp(12, 0.3, seed=5, max_weight=9)
+
+    def test_adhoc_cell_rebuilds_attrs_from_payload(self):
+        from repro.exec import SweepCell
+
+        graph = self._weighted_graph()
+        cell = SweepCell.from_graph("trial", "weighted", 2, graph)
+        assert cell.edge_attrs  # the payload carries the weights
+        rebuilt = cell.graph()
+        for u, v in graph.edges:
+            assert (
+                rebuilt.edges[u, v]["weight"]
+                == graph.edges[u, v]["weight"]
+            )
+
+    def test_attrs_round_trip_through_manifest_json(self):
+        from repro.exec import SweepCell
+
+        graph = self._weighted_graph()
+        cell = SweepCell.from_graph("trial", "weighted", 2, graph)
+        back = cell_from_json(
+            json.loads(json.dumps(cell_to_json(cell)))
+        )
+        assert back == cell
+        rebuilt = back.graph()
+        for u, v in graph.edges:
+            assert (
+                rebuilt.edges[u, v]["weight"]
+                == graph.edges[u, v]["weight"]
+            )
+
+    def test_attr_free_cells_keep_their_json_shape(self):
+        """Grid digests of attribute-free grids must not change: the
+        attrs keys are omitted when empty."""
+        import networkx as nx
+
+        from repro.exec import SweepCell
+
+        cell = SweepCell.from_graph(
+            "trial", "plain", 0, nx.path_graph(4)
+        )
+        data = cell_to_json(cell)
+        assert "node_attrs" not in data
+        assert "edge_attrs" not in data
+
+    def test_weighted_adhoc_cells_agree_across_paths(
+        self, tmp_path
+    ):
+        """serial ≡ process ≡ sharded for a weighted ad-hoc grid."""
+        from repro.exec import SweepCell
+
+        graph = self._weighted_graph()
+        cells = [
+            SweepCell.from_graph("trial", "weighted", seed, graph)
+            for seed in (0, 1, 2, 3)
+        ]
+        serial = SweepBackend(executor="serial").run_grid(cells)
+        pooled = SweepBackend(
+            executor="process", max_workers=2
+        ).run_grid(cells)
+        sharded = run_sharded(cells, 2, str(tmp_path))
+        assert pooled.fingerprint() == serial.fingerprint()
+        assert sharded.fingerprint() == serial.fingerprint()
+        assert serial.ok, [c.error for c in serial.failures]
+
+
+class TestVectorizedInner:
+    def test_sharded_vectorized_merge_matches_fastpath_run(
+        self, tmp_path, unsharded
+    ):
+        """``inner="vectorized"`` shards merge byte-identical to the
+        fastpath-inner unsharded run (default policy is TRACK, where
+        the engines promise bit-identical metrics)."""
+        merged = run_sharded(
+            small_grid(), 2, str(tmp_path), inner="vectorized"
+        )
+        assert merged.fingerprint() == unsharded.fingerprint()
+
+    def test_vectorized_grid_matches_serial_fastpath(self, unsharded):
+        swept = SweepBackend(
+            executor="serial", inner="vectorized"
+        ).run_grid(small_grid())
+        assert swept.fingerprint() == unsharded.fingerprint()
+        assert swept.ok, [c.error for c in swept.failures]
+
+
 def test_run_sharded_writes_manifest_and_checkpoints(tmp_path):
     cells = small_grid()[:6]
     run_sharded(cells, 2, str(tmp_path))

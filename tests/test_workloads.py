@@ -331,6 +331,70 @@ class TestInstanceCache:
                 == original.edges[u, v]["weight"]
             )
 
+    def test_intern_canonicalizes_payload(self):
+        """Regression: duplicate/reversed edges and self-loops in the
+        caller payload used to inflate ``delta`` and split digests."""
+        cache = InstanceCache()
+        clean = cache.intern(
+            "canon", 0, (0, 1, 2, 3), ((0, 1), (1, 2), (2, 3))
+        )
+        messy = cache.intern(
+            "canon", 0, (3, 2, 1, 0),
+            ((1, 0), (0, 1), (1, 2), (2, 3), (2, 2), (3, 3)),
+        )
+        assert messy is clean
+        assert messy.digest() == clean.digest()
+        assert messy.delta == 2  # not inflated by dups/self-loops
+        assert canonical(messy.graph()) == canonical(clean.graph())
+
+    def test_intern_graph_carries_attrs_through_pickle(self):
+        """Regression: ``intern_graph`` used to drop node/edge
+        attributes, so weighted ad-hoc graphs lost their weights at
+        every process/shard boundary."""
+        cache = InstanceCache()
+        weighted = graphs.weighted_gnp(12, 0.3, seed=6, max_weight=9)
+        instance = cache.intern_graph("adhoc-weighted", 0, weighted)
+        shipped = pickle.loads(pickle.dumps(instance))
+        shipped._graph = None  # force a rebuild from the payload
+        rebuilt = shipped.graph()
+        assert set(rebuilt.edges) == set(weighted.edges)
+        for u, v in weighted.edges:
+            assert (
+                rebuilt.edges[u, v]["weight"]
+                == weighted.edges[u, v]["weight"]
+            )
+
+    def test_attrs_are_part_of_the_content_digest(self):
+        """Same topology, different attributes: distinct instances."""
+        import networkx as nx
+
+        cache = InstanceCache()
+        bare = nx.path_graph(4)
+        weighted = nx.path_graph(4)
+        for u, v in weighted.edges:
+            weighted.edges[u, v]["weight"] = u + v
+        a = cache.intern_graph("attr-digest", 0, bare)
+        b = cache.intern_graph("attr-digest", 0, weighted)
+        assert a is not b
+        assert a.digest() != b.digest()
+
+    def test_install_adhoc_does_not_shadow_registered_workload(self):
+        """Regression: ``install()`` used to store ad-hoc instances
+        under the ``(name, params, seed)`` primary key, shadowing (or
+        evicting) a registered workload of the same name."""
+        import networkx as nx
+
+        from repro.workloads import Instance
+
+        cache = InstanceCache()
+        registered = cache.get("petersen", 0)
+        impostor = Instance.from_graph(
+            "petersen", 0, nx.path_graph(3)
+        )
+        cache.install([impostor])
+        assert cache.get("petersen", 0) is registered
+        assert cache.get("petersen", 0).delta == 3
+
     def test_lru_eviction_bounds_the_store(self):
         cache = InstanceCache(max_instances=2)
         first = cache.get("gnp24", 0)
