@@ -1,16 +1,17 @@
 """E22 — sharded, resumable sweep execution.
 
 Regenerates the E22 table (shard-merge byte-identity at k = 1, 2, 3;
-kill-and-resume from per-cell checkpoints; instance-cache sharing
-across cells) and persists the shard wall-clock trajectory to
-``results/BENCH_e22_sharded_sweep.json`` so manifest/checkpoint
+kill-and-resume from per-cell checkpoints; lease-based fleet crash
+reclaim; instance-cache sharing across cells) and persists the shard
+and fleet wall-clock trajectory to
+``results/BENCH_e22_sharded_sweep.json`` so manifest/checkpoint/lease
 overhead is tracked across PRs, not just printed.
 """
 
 import time
 
 from repro import registry
-from repro.exec import SweepBackend, grid_cells, run_sharded
+from repro.exec import SweepBackend, grid_cells, run_fleet, run_sharded
 from repro.harness.experiments import e22_sharded_sweep
 from repro.workloads import get_workload
 
@@ -50,12 +51,20 @@ def test_shard_overhead_trajectory(tmp_path, benchmark):
     sharded_s = benchmark.stats.stats.min
     assert sharded.fingerprint() == unsharded.fingerprint()
 
+    t0 = time.perf_counter()
+    fleet = run_fleet(
+        cells, 3, str(tmp_path / "fleet"), num_workers=2
+    )
+    fleet_s = time.perf_counter() - t0
+    assert fleet.fingerprint() == unsharded.fingerprint()
+
     write_bench_json(
         "e22_sharded_sweep",
         {
             "cells": len(cells),
             "unsharded_wall_seconds": unsharded_s,
             "sharded_3_wall_seconds": sharded_s,
+            "fleet_2worker_wall_seconds": fleet_s,
             "aggregate_messages": (
                 sharded.aggregate_metrics().total_messages
             ),

@@ -10,32 +10,33 @@ CONGEST rounds, which lives in the tables.
 Benches that track a perf trajectory across PRs additionally write a
 machine-readable ``results/BENCH_<name>.json`` via
 :func:`write_bench_json` (wall-clock, rounds, messages — whatever the
-bench measures), so regressions diff as data, not as prose.
+bench measures).  Each file is an *append-only per-commit record* —
+``{"schema": 2, "entries": [{commit, timestamp, metrics}, ...]}``, see
+:mod:`repro.harness.benchstore` — so regressions diff as a
+trajectory, and ``python -m repro.harness.benchstore check`` gates
+the newest entry against the previous one in CI.
 """
 
 from __future__ import annotations
 
-import json
 import pathlib
 from typing import Any, Dict
+
+from repro.harness.benchstore import append_entry
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def write_bench_json(name: str, payload: Dict[str, Any]) -> pathlib.Path:
-    """Persist one bench's machine-readable results.
+    """Append one bench run's metrics to the bench's trajectory.
 
-    ``payload`` must be JSON-serializable; it lands in
-    ``benchmarks/results/BENCH_<name>.json`` (sorted keys, so diffs
-    across PRs stay minimal).
+    ``payload`` must be JSON-serializable; it is appended as the
+    newest ``{commit, timestamp, metrics}`` entry of
+    ``benchmarks/results/BENCH_<name>.json`` (re-runs on the same
+    commit replace that commit's entry, so local iteration does not
+    grow the file).
     """
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / f"BENCH_{name}.json"
-    out.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
-    return out
+    return append_entry(RESULTS_DIR, name, payload)
 
 
 def registry_specs(kind=None, distributed=None):

@@ -24,7 +24,10 @@ it is executed.  Three engines ship by default:
 Grids also compile to *shard manifests* (:mod:`repro.exec.shards`):
 deterministic JSON, independently runnable and resumable shards with
 per-cell checkpoints, and a merge that is byte-identical to the
-unsharded run.
+unsharded run.  On top, :mod:`repro.exec.fleet` schedules those
+shards across any number of worker processes/hosts via atomic lease
+files with heartbeats and crash reclaim (``python -m
+repro.exec.fleet work <dir>``).
 
 Select an engine per call (``network.run(backend="fastpath")``,
 ``spec.run(graph, backend="fastpath")``) or ambiently::
@@ -46,10 +49,22 @@ from repro.exec.base import (
     use_backend,
 )
 from repro.exec.fastpath import FastpathBackend
+from repro.exec.fleet import (
+    FleetStalledError,
+    FleetTimeoutError,
+    FleetWorkerReport,
+    LeaseLostError,
+    LeaseStore,
+    ReclaimPolicy,
+    fleet_status,
+    run_fleet,
+    run_fleet_worker,
+)
 from repro.exec.reference import ReferenceBackend
 from repro.exec.shards import (
     ShardIncompleteError,
     ShardManifest,
+    ShardStatus,
     compile_manifest,
     merge_shards,
     run_shard,
@@ -78,11 +93,18 @@ __all__ = [
     "ExecutionBackend",
     "FASTPATH",
     "FastpathBackend",
+    "FleetStalledError",
+    "FleetTimeoutError",
+    "FleetWorkerReport",
+    "LeaseLostError",
+    "LeaseStore",
     "REFERENCE",
+    "ReclaimPolicy",
     "ReferenceBackend",
     "SWEEP",
     "ShardIncompleteError",
     "ShardManifest",
+    "ShardStatus",
     "SweepBackend",
     "SweepCell",
     "SweepResult",
@@ -91,12 +113,15 @@ __all__ = [
     "available_backends",
     "compile_manifest",
     "current_backend",
+    "fleet_status",
     "get_backend",
     "grid_cells",
     "merge_shards",
     "prebuild_instances",
     "register_backend",
     "run_cell",
+    "run_fleet",
+    "run_fleet_worker",
     "run_shard",
     "run_sharded",
     "shard_status",

@@ -27,7 +27,16 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.congest.policy import BandwidthMode, BandwidthPolicy
@@ -234,12 +243,23 @@ class ShardManifest:
         }
 
     def save(self, path: str) -> str:
-        """Write the manifest (under ``path`` if it is a directory)."""
+        """Write the manifest (under ``path`` if it is a directory).
+
+        The write is atomic (unique temp file + fsync + ``os.replace``,
+        the same pattern checkpoint repair uses): a kill mid-save can
+        never leave a torn manifest that makes every worker's
+        :meth:`load` raise, and re-saving over a live manifest is safe
+        while other workers hold it open.
+        """
         if os.path.isdir(path):
             path = os.path.join(path, MANIFEST_NAME)
-        with open(path, "w", encoding="utf-8") as handle:
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(self.to_json(), handle, separators=(",", ":"))
             handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
         return path
 
     @staticmethod
@@ -319,6 +339,12 @@ def _read_checkpoint(
     counts owned cells.  Tolerates a truncated trailing line (the
     signature of a kill mid-write): the damaged record is dropped and
     recomputed on resume.
+
+    A *duplicate* record for an index already seen is damage too (a
+    doubly-appended checkpoint — e.g. a reclaimed lease whose previous
+    owner was still flushing): the first record wins deterministically
+    and the file is repaired, instead of the later record silently
+    overwriting the earlier one forever.
     """
     done: Dict[int, CellResult] = {}
     damaged = False
@@ -340,6 +366,9 @@ def _read_checkpoint(
                 continue
             index = record["index"]
             if owned_set is not None and index not in owned_set:
+                damaged = True
+                continue
+            if index in done:
                 damaged = True
                 continue
             done[index] = result_from_json(record["result"])
@@ -373,6 +402,8 @@ def _repair_checkpoint(
                 _checkpoint_record(index, done[index], grid_digest)
             )
             handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
 
 
@@ -390,11 +421,23 @@ class ShardRun:
         return self.resumed + self.executed == self.total
 
 
+def prebuild_tag(manifest: ShardManifest) -> Tuple:
+    """Instance-cache prewarm tag meaning *every* instance this
+    manifest references is already built in this process (see
+    :meth:`InstanceCache.mark_prewarmed
+    <repro.workloads.cache.InstanceCache.mark_prewarmed>`).  The
+    fleet driver marks it after prebuilding the whole grid once, so
+    each subsequently claimed shard skips the per-shard prebuild
+    scan."""
+    return ("shard-prebuild", manifest.grid_digest, manifest.inner)
+
+
 def run_shard(
     manifest: ShardManifest,
     shard: int,
     checkpoint_dir: str,
     max_cells: Optional[int] = None,
+    on_cell: Optional[Callable[[int, CellResult], None]] = None,
 ) -> ShardRun:
     """Execute (or resume) one shard, checkpointing per cell.
 
@@ -403,6 +446,12 @@ def run_shard(
     ``max_cells`` bounds how many *new* cells run this invocation —
     the hook the resume tests (and incremental schedulers) use to
     stop a shard mid-flight cleanly.
+
+    ``on_cell(index, result)`` is called after each *newly executed*
+    cell is checkpointed — the fleet scheduler's heartbeat hook.  An
+    exception raised from it (e.g. :class:`~repro.exec.fleet.
+    LeaseLostError`) aborts the remaining cells; everything already
+    checkpointed stays durable for whoever runs the shard next.
     """
     os.makedirs(checkpoint_dir, exist_ok=True)
     path = checkpoint_path(checkpoint_dir, shard)
@@ -415,11 +464,16 @@ def run_shard(
     if damaged:
         _repair_checkpoint(path, done, manifest.grid_digest)
     pending = [(i, cell) for i, cell in owned if i not in done]
-    # One build per referenced instance, shared by every pending cell.
-    prebuild_instances(
-        [cell for _, cell in pending],
-        prewarm_csr=(manifest.inner == "vectorized"),
-    )
+    # One build per referenced instance, shared by every pending cell
+    # — skipped entirely when a fleet driver already prebuilt the
+    # whole manifest into this process's cache (prebuild_tag).
+    from repro.workloads import instance_cache
+
+    if not instance_cache().was_prewarmed(prebuild_tag(manifest)):
+        prebuild_instances(
+            [cell for _, cell in pending],
+            prewarm_csr=(manifest.inner == "vectorized"),
+        )
     executed = 0
     with open(path, "a", encoding="utf-8") as handle:
         for index, cell in pending:
@@ -434,6 +488,8 @@ def run_shard(
             handle.write("\n")
             handle.flush()
             executed += 1
+            if on_cell is not None:
+                on_cell(index, result)
     return ShardRun(
         shard=shard,
         total=len(owned),
@@ -442,22 +498,53 @@ def run_shard(
     )
 
 
+class ShardStatus(NamedTuple):
+    """Per-shard checkpoint state, as :func:`shard_status` reports it.
+
+    ``damaged`` is True while the checkpoint holds torn, foreign,
+    stale-grid, or duplicate-index records that the next
+    :func:`run_shard` will repair — the repair can only *shrink*
+    ``done``, so schedulers (the fleet reclaim decision in
+    particular) must treat a damaged shard as incomplete even when
+    ``done == total``.
+    """
+
+    shard: int
+    done: int
+    total: int
+    damaged: bool
+
+    @property
+    def complete(self) -> bool:
+        return self.done == self.total and not self.damaged
+
+
+def one_shard_status(
+    manifest: ShardManifest, checkpoint_dir: str, shard: int
+) -> ShardStatus:
+    """A single shard's :class:`ShardStatus`, from its checkpoint."""
+    owned = manifest.shard_indices(shard)
+    done, damaged = _read_checkpoint(
+        checkpoint_path(checkpoint_dir, shard),
+        manifest.grid_digest,
+        owned=owned,
+    )
+    return ShardStatus(
+        shard,
+        sum(1 for i in owned if i in done),
+        len(owned),
+        damaged,
+    )
+
+
 def shard_status(
     manifest: ShardManifest, checkpoint_dir: str
-) -> List[Tuple[int, int, int]]:
-    """``(shard, done, total)`` per shard, from the checkpoints."""
-    status = []
-    for shard in range(manifest.num_shards):
-        owned = manifest.shard_indices(shard)
-        done, _ = _read_checkpoint(
-            checkpoint_path(checkpoint_dir, shard),
-            manifest.grid_digest,
-            owned=owned,
-        )
-        status.append(
-            (shard, sum(1 for i in owned if i in done), len(owned))
-        )
-    return status
+) -> List[ShardStatus]:
+    """One :class:`ShardStatus` per shard, from the checkpoints."""
+    return [
+        one_shard_status(manifest, checkpoint_dir, shard)
+        for shard in range(manifest.num_shards)
+    ]
 
 
 def merge_shards(

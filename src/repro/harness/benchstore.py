@@ -1,0 +1,281 @@
+"""Append-only per-commit bench result store + trajectory gate.
+
+``benchmarks/results/BENCH_<name>.json`` used to be overwritten in
+place on every bench run, so the repository only ever recorded the
+latest numbers and a perf regression could not be detected from the
+file history alone.  This module grows each file into an append-only
+*trajectory*::
+
+    {
+      "schema": 2,
+      "bench": "e22_sharded_sweep",
+      "entries": [
+        {"commit": "04e0f9b", "timestamp": "2026-08-08T...Z",
+         "metrics": {"cells": 12, "sharded_3_wall_seconds": 0.009}},
+        ...
+      ]
+    }
+
+Entries are appended per run; re-running on the *same* commit
+replaces that commit's last entry (so local iteration doesn't grow
+the file), and the list is capped at ``max_entries`` most-recent
+records.  Legacy overwrite-style files (a bare metrics object) are
+migrated on first append as a ``"commit": "pre-schema"`` entry, so
+no trajectory starts empty.
+
+:func:`check_trajectory` is the regression gate: it compares every
+``*seconds*`` metric of the newest entry against the previous one
+and reports ratios above ``max_ratio`` (default 2×).  CI runs it via
+``python -m repro.harness.benchstore check benchmarks/results``
+right after the bench smoke, so the freshly appended entry is gated
+against the last committed one.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+SCHEMA_VERSION = 2
+
+#: Wall-clock readings below this are timer noise, not signal — the
+#: gate skips them rather than flagging a 0.4ms -> 1ms "regression".
+MIN_GATED_SECONDS = 0.005
+
+
+def current_commit(cwd: Optional[str] = None) -> str:
+    """The short git head, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    head = out.stdout.strip()
+    return head if out.returncode == 0 and head else "unknown"
+
+
+def current_timestamp() -> str:
+    from datetime import datetime, timezone
+
+    return (
+        datetime.now(timezone.utc)
+        .replace(microsecond=0)
+        .isoformat()
+        .replace("+00:00", "Z")
+    )
+
+
+def load_payload(path: pathlib.Path, name: str) -> Dict[str, Any]:
+    """The trajectory payload at ``path`` (migrating legacy
+    overwrite-style files, tolerating missing/torn ones)."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {"schema": SCHEMA_VERSION, "bench": name, "entries": []}
+    if (
+        isinstance(data, dict)
+        and isinstance(data.get("entries"), list)
+        and data.get("schema") == SCHEMA_VERSION
+    ):
+        return data
+    # Legacy schema: the file *is* the metrics object.  Keep it as
+    # the trajectory's first entry rather than losing the data point.
+    entries = []
+    if isinstance(data, dict) and data:
+        entries.append(
+            {
+                "commit": "pre-schema",
+                "timestamp": None,
+                "metrics": data,
+            }
+        )
+    return {
+        "schema": SCHEMA_VERSION,
+        "bench": name,
+        "entries": entries,
+    }
+
+
+def append_entry(
+    results_dir: pathlib.Path,
+    name: str,
+    metrics: Dict[str, Any],
+    commit: Optional[str] = None,
+    timestamp: Optional[str] = None,
+    max_entries: int = 100,
+) -> pathlib.Path:
+    """Append one ``{commit, timestamp, metrics}`` record to
+    ``<results_dir>/BENCH_<name>.json`` (atomically: temp file +
+    ``os.replace``).  A repeat run on the same commit replaces that
+    commit's latest entry instead of stacking duplicates."""
+    import os
+
+    results_dir = pathlib.Path(results_dir)
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / f"BENCH_{name}.json"
+    payload = load_payload(path, name)
+    entry = {
+        "commit": commit or current_commit(cwd=str(results_dir)),
+        "timestamp": timestamp or current_timestamp(),
+        "metrics": metrics,
+    }
+    entries: List[Dict] = payload["entries"]
+    if entries and entries[-1].get("commit") == entry["commit"]:
+        entries[-1] = entry
+    else:
+        entries.append(entry)
+    payload["entries"] = entries[-max_entries:]
+    payload["bench"] = name
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    tmp.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    os.replace(tmp, path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# the trajectory regression gate
+
+
+def _flatten_seconds(
+    metrics: Any, prefix: str = ""
+) -> Dict[str, float]:
+    """Dotted-key map of every numeric ``*seconds*`` metric, however
+    deeply nested."""
+    out: Dict[str, float] = {}
+    if isinstance(metrics, dict):
+        for key, value in metrics.items():
+            dotted = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, dict):
+                out.update(_flatten_seconds(value, dotted))
+            elif (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and "seconds" in str(key)
+            ):
+                out[dotted] = float(value)
+    return out
+
+
+def check_trajectory(
+    payload: Dict[str, Any],
+    max_ratio: float = 2.0,
+    min_seconds: float = MIN_GATED_SECONDS,
+) -> List[Tuple[str, float, float, float]]:
+    """Violations ``(metric, previous, latest, ratio)`` where the
+    newest entry is more than ``max_ratio`` times slower than the
+    previous recorded entry.  Trajectories with fewer than two
+    entries, metrics missing from either side, and readings below
+    ``min_seconds`` (timer noise) are all ungated."""
+    entries = payload.get("entries", [])
+    if len(entries) < 2:
+        return []
+    previous = _flatten_seconds(entries[-2].get("metrics", {}))
+    latest = _flatten_seconds(entries[-1].get("metrics", {}))
+    violations = []
+    for key, before in previous.items():
+        after = latest.get(key)
+        if after is None:
+            continue
+        if before < min_seconds and after < min_seconds:
+            continue
+        baseline = max(before, min_seconds)
+        ratio = after / baseline
+        if ratio > max_ratio:
+            violations.append((key, before, after, ratio))
+    return violations
+
+
+def check_results_dir(
+    results_dir: pathlib.Path,
+    max_ratio: float = 2.0,
+    min_seconds: float = MIN_GATED_SECONDS,
+) -> Dict[str, List[Tuple[str, float, float, float]]]:
+    """Gate every ``BENCH_*.json`` under ``results_dir``; returns
+    ``{bench name: violations}`` for the benches that regressed."""
+    results_dir = pathlib.Path(results_dir)
+    failures = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        violations = check_trajectory(
+            load_payload(path, name),
+            max_ratio=max_ratio,
+            min_seconds=min_seconds,
+        )
+        if violations:
+            failures[name] = violations
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.benchstore",
+        description=(
+            "Append-only bench trajectories: show them, or gate the "
+            "newest entry against the previous one."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    check = sub.add_parser(
+        "check", help="fail (exit 1) on >max-ratio slowdowns"
+    )
+    check.add_argument("results_dir")
+    check.add_argument("--max-ratio", type=float, default=2.0)
+    check.add_argument(
+        "--min-seconds", type=float, default=MIN_GATED_SECONDS
+    )
+    show = sub.add_parser("show", help="print each trajectory")
+    show.add_argument("results_dir")
+    args = parser.parse_args(argv)
+
+    results_dir = pathlib.Path(args.results_dir)
+    if args.command == "show":
+        for path in sorted(results_dir.glob("BENCH_*.json")):
+            name = path.stem[len("BENCH_"):]
+            payload = load_payload(path, name)
+            print(f"{name}: {len(payload['entries'])} entries")
+            for entry in payload["entries"]:
+                seconds = _flatten_seconds(entry.get("metrics", {}))
+                brief = ", ".join(
+                    f"{k}={v:.4f}" for k, v in sorted(seconds.items())
+                )
+                print(
+                    f"  {entry.get('commit')} "
+                    f"{entry.get('timestamp')}: {brief}"
+                )
+        return 0
+
+    failures = check_results_dir(
+        results_dir,
+        max_ratio=args.max_ratio,
+        min_seconds=args.min_seconds,
+    )
+    for name, violations in failures.items():
+        for key, before, after, ratio in violations:
+            print(
+                f"REGRESSION {name}.{key}: {before:.4f}s -> "
+                f"{after:.4f}s ({ratio:.2f}x > {args.max_ratio}x)"
+            )
+    if failures:
+        return 1
+    print(
+        f"bench trajectories OK (max allowed slowdown "
+        f"{args.max_ratio}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1266,24 +1266,31 @@ def e22_sharded_sweep(
     """Sharded, resumable sweep execution (docs/WORKLOADS.md).
 
     Compiles a registry × workload grid to a shard manifest and
-    checks the three contracts of :mod:`repro.exec.shards`:
+    checks the contracts of :mod:`repro.exec.shards` and
+    :mod:`repro.exec.fleet`:
     (1) *equivalence* — the grid split into 1, 2, and ``num_shards``
     shards merges byte-identically (``SweepResult.fingerprint()`` and
     aggregate metrics) to the unsharded run; (2) *resumability* — a
     shard killed mid-flight completes from its per-cell checkpoint
-    without recomputing finished cells; (3) *cache sharing* — the
-    instance cache builds each referenced (workload, seed) instance
-    exactly once for the whole grid, not once per cell.
+    without recomputing finished cells; (3) *crash reclaim* — a fleet
+    worker dying mid-shard with an unreleased lease has its shard
+    reclaimed and finished by a survivor, merge still byte-identical;
+    (4) *cache sharing* — the instance cache builds each referenced
+    (workload, seed) instance exactly once for the whole grid, not
+    once per cell.
     """
     import os
     import tempfile
     import time
 
     from repro.exec import (
+        LeaseStore,
+        ReclaimPolicy,
         SweepBackend,
         compile_manifest,
         grid_cells,
         merge_shards,
+        run_fleet_worker,
         run_shard,
         run_sharded,
     )
@@ -1292,9 +1299,10 @@ def e22_sharded_sweep(
     table = ExperimentTable(
         "E22",
         "Sharded, resumable sweeps",
-        "repro.exec.shards: a grid compiles to a deterministic shard "
-        "manifest; shards run independently, checkpoint per cell, "
-        "and merge byte-identically to the unsharded run",
+        "repro.exec.shards + repro.exec.fleet: a grid compiles to a "
+        "deterministic shard manifest; shards run independently, "
+        "checkpoint per cell, survive worker crashes via lease "
+        "reclaim, and merge byte-identically to the unsharded run",
         ["shards", "cells", "resumed", "executed", "wall ms", "merge"],
     )
     specs = [
@@ -1367,6 +1375,59 @@ def e22_sharded_sweep(
             "resumed merge byte-identical to unsharded",
             merged.fingerprint() == fingerprint,
         )
+
+        # Fleet crash reclaim: a worker claims shard 0, checkpoints
+        # two cells, and dies without releasing its lease.  A
+        # survivor with a fast reclaim policy must take the lease
+        # over, finish the abandoned shard, and drain the rest.
+        fleet_dir = os.path.join(base, "fleet")
+        fleet_manifest = compile_manifest(cells, 2)
+        os.makedirs(fleet_dir, exist_ok=True)
+        fleet_manifest.save(fleet_dir)
+        policy = ReclaimPolicy(
+            stale_after=0.05, poll_interval=0.02, max_poll_interval=0.1
+        )
+        victim_store = LeaseStore(
+            fleet_dir,
+            fleet_manifest.grid_digest,
+            worker_id="e22-victim",
+            policy=policy,
+        )
+        victim_lease = victim_store.try_claim(0)
+        run_shard(fleet_manifest, 0, fleet_dir, max_cells=2)
+        # No heartbeat, no release: the victim is now dead.
+        t0 = time.perf_counter()
+        report = run_fleet_worker(
+            fleet_manifest,
+            fleet_dir,
+            worker_id="e22-survivor",
+            policy=policy,
+            deadline=60.0,
+        )
+        fleet_wall = (time.perf_counter() - t0) * 1000
+        merged = merge_shards(fleet_manifest, fleet_dir)
+        fleet_identical = merged.fingerprint() == fingerprint
+        table.add_row(
+            "2 (fleet reclaim)",
+            len(cells),
+            report.resumed,
+            report.executed,
+            round(fleet_wall, 1),
+            "identical" if fleet_identical else "DIVERGED",
+        )
+        table.add_check(
+            "survivor reclaimed the dead worker's lease",
+            0 in report.reclaimed and report.completed,
+        )
+        table.add_check(
+            "survivor resumed past the victim's checkpointed cells",
+            report.resumed == 2,
+        )
+        table.add_check(
+            "fleet merge byte-identical to unsharded",
+            fleet_identical,
+        )
+        assert victim_lease is not None  # claim on a fresh dir
 
     # Cache sharing: one instance build per (workload, seed), however
     # many algorithm cells reference it.

@@ -367,6 +367,8 @@ class InstanceCache:
         self._aliases: Dict[Tuple, Tuple] = {}
         #: primary key -> alias keys, for eviction.
         self._alias_index: Dict[Tuple, Tuple[Tuple, ...]] = {}
+        #: advisory prewarm markers (see :meth:`mark_prewarmed`).
+        self._prewarmed: set = set()
         self.max_instances = max_instances
         self.stats = CacheStats()
 
@@ -377,6 +379,7 @@ class InstanceCache:
         self._primary.clear()
         self._aliases.clear()
         self._alias_index.clear()
+        self._prewarmed.clear()
         self.stats = CacheStats()
 
     # -- the keyed store -------------------------------------------------
@@ -395,6 +398,12 @@ class InstanceCache:
         aliases: Tuple[Tuple, ...] = (),
     ) -> Instance:
         instance._stats = self.stats
+        # Re-storing a primary replaces its alias set: the previous
+        # aliases would otherwise leak — surviving the primary's
+        # eviction and resolving to a dead key forever.
+        for stale in self._alias_index.pop(primary, ()):
+            if self._aliases.get(stale) == primary:
+                del self._aliases[stale]
         self._primary[primary] = instance
         self._primary.move_to_end(primary)
         self._alias_index[primary] = aliases
@@ -517,6 +526,22 @@ class InstanceCache:
             # caller's object — let graph() rebuild those instead.
             instance._graph = graph
         return instance
+
+    # -- prewarm bookkeeping ---------------------------------------------
+
+    def mark_prewarmed(self, tag: Tuple) -> None:
+        """Record that the work named by ``tag`` (e.g. "every
+        instance of manifest X is built") has been done in this
+        process, so repeat callers — a fleet worker claiming its
+        second, third, ... shard of the same manifest — skip the
+        prebuild scan.  Advisory only: eviction may still drop an
+        instance, in which case the normal cache miss path rebuilds
+        it (correctness is unaffected, the prewarm is purely warm-up).
+        """
+        self._prewarmed.add(tag)
+
+    def was_prewarmed(self, tag: Tuple) -> bool:
+        return tag in self._prewarmed
 
     # -- prebuilt installation (worker-side) -----------------------------
 

@@ -1,0 +1,210 @@
+"""The append-only bench result store and its trajectory gate.
+
+``BENCH_<name>.json`` is a per-commit trajectory (schema 2): entries
+append across commits, re-runs on one commit replace in place, legacy
+overwrite-style files migrate losslessly, and ``check_trajectory``
+flags >N× slowdowns of any ``*seconds*`` metric between the last two
+entries — the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.benchstore import (
+    MIN_GATED_SECONDS,
+    SCHEMA_VERSION,
+    append_entry,
+    check_results_dir,
+    check_trajectory,
+    load_payload,
+    main as benchstore_main,
+)
+
+
+def _metrics(seconds, cells=12):
+    return {"cells": cells, "sweep_wall_seconds": seconds}
+
+
+class TestAppendOnlyStore:
+    def test_entries_append_across_commits(self, tmp_path):
+        for k, commit in enumerate(("aaa111", "bbb222", "ccc333")):
+            path = append_entry(
+                tmp_path,
+                "demo",
+                _metrics(0.1 * (k + 1)),
+                commit=commit,
+                timestamp=f"2026-08-0{k + 1}T00:00:00Z",
+            )
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["bench"] == "demo"
+        assert [e["commit"] for e in payload["entries"]] == [
+            "aaa111",
+            "bbb222",
+            "ccc333",
+        ]
+
+    def test_same_commit_replaces_instead_of_stacking(self, tmp_path):
+        append_entry(tmp_path, "demo", _metrics(0.1), commit="aaa")
+        append_entry(tmp_path, "demo", _metrics(0.2), commit="bbb")
+        path = append_entry(
+            tmp_path, "demo", _metrics(0.3), commit="bbb"
+        )
+        entries = json.loads(path.read_text())["entries"]
+        assert [e["commit"] for e in entries] == ["aaa", "bbb"]
+        assert (
+            entries[-1]["metrics"]["sweep_wall_seconds"] == 0.3
+        )
+
+    def test_legacy_overwrite_file_migrates_as_first_entry(
+        self, tmp_path
+    ):
+        legacy = tmp_path / "BENCH_demo.json"
+        legacy.write_text(json.dumps(_metrics(0.5)))
+        path = append_entry(
+            tmp_path, "demo", _metrics(0.6), commit="new"
+        )
+        entries = json.loads(path.read_text())["entries"]
+        assert [e["commit"] for e in entries] == [
+            "pre-schema",
+            "new",
+        ]
+        assert (
+            entries[0]["metrics"]["sweep_wall_seconds"] == 0.5
+        )
+
+    def test_max_entries_caps_the_trajectory(self, tmp_path):
+        for k in range(7):
+            path = append_entry(
+                tmp_path,
+                "demo",
+                _metrics(0.1),
+                commit=f"c{k}",
+                max_entries=4,
+            )
+        entries = json.loads(path.read_text())["entries"]
+        assert [e["commit"] for e in entries] == [
+            "c3",
+            "c4",
+            "c5",
+            "c6",
+        ]
+
+    def test_torn_file_does_not_poison_appends(self, tmp_path):
+        torn = tmp_path / "BENCH_demo.json"
+        torn.write_text('{"schema": 2, "entr')
+        path = append_entry(
+            tmp_path, "demo", _metrics(0.1), commit="aaa"
+        )
+        entries = json.loads(path.read_text())["entries"]
+        assert [e["commit"] for e in entries] == ["aaa"]
+
+
+class TestTrajectoryGate:
+    def _payload(self, *seconds):
+        return {
+            "schema": SCHEMA_VERSION,
+            "bench": "demo",
+            "entries": [
+                {
+                    "commit": f"c{k}",
+                    "timestamp": None,
+                    "metrics": _metrics(s),
+                }
+                for k, s in enumerate(seconds)
+            ],
+        }
+
+    def test_single_entry_is_ungated(self):
+        assert check_trajectory(self._payload(0.5)) == []
+
+    def test_within_budget_passes(self):
+        assert check_trajectory(self._payload(0.10, 0.19)) == []
+
+    def test_over_2x_slowdown_is_flagged(self):
+        violations = check_trajectory(self._payload(0.10, 0.21))
+        assert len(violations) == 1
+        key, before, after, ratio = violations[0]
+        assert key == "sweep_wall_seconds"
+        assert (before, after) == (0.10, 0.21)
+        assert ratio == pytest.approx(2.1)
+
+    def test_only_last_two_entries_are_compared(self):
+        # Slow history further back must not trip the gate.
+        assert check_trajectory(self._payload(9.0, 0.1, 0.15)) == []
+
+    def test_timer_noise_below_floor_is_ignored(self):
+        tiny = MIN_GATED_SECONDS / 10
+        assert (
+            check_trajectory(self._payload(tiny, tiny * 8)) == []
+        )
+
+    def test_nested_seconds_metrics_are_gated(self):
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "bench": "demo",
+            "entries": [
+                {
+                    "commit": "a",
+                    "metrics": {
+                        "fleet": {"wall_seconds": 0.1},
+                        "cells": 9,
+                    },
+                },
+                {
+                    "commit": "b",
+                    "metrics": {
+                        "fleet": {"wall_seconds": 0.5},
+                        "cells": 9,
+                    },
+                },
+            ],
+        }
+        violations = check_trajectory(payload)
+        assert [v[0] for v in violations] == ["fleet.wall_seconds"]
+
+    def test_non_seconds_metrics_never_gate(self):
+        payload = self._payload(0.1, 0.1)
+        for entry, cells in zip(payload["entries"], (10, 100)):
+            entry["metrics"]["cells"] = cells
+        assert check_trajectory(payload) == []
+
+
+class TestDirGateAndCLI:
+    def test_check_results_dir_aggregates_failures(self, tmp_path):
+        append_entry(tmp_path, "ok", _metrics(0.1), commit="a")
+        append_entry(tmp_path, "ok", _metrics(0.15), commit="b")
+        append_entry(tmp_path, "bad", _metrics(0.1), commit="a")
+        append_entry(tmp_path, "bad", _metrics(0.9), commit="b")
+        failures = check_results_dir(tmp_path)
+        assert list(failures) == ["bad"]
+
+    def test_cli_check_exit_codes(self, tmp_path, capsys):
+        append_entry(tmp_path, "demo", _metrics(0.1), commit="a")
+        assert benchstore_main(["check", str(tmp_path)]) == 0
+        append_entry(tmp_path, "demo", _metrics(0.9), commit="b")
+        assert benchstore_main(["check", str(tmp_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert (
+            benchstore_main(
+                ["check", str(tmp_path), "--max-ratio", "20"]
+            )
+            == 0
+        )
+
+    def test_cli_show_prints_trajectories(self, tmp_path, capsys):
+        append_entry(tmp_path, "demo", _metrics(0.1), commit="a")
+        assert benchstore_main(["show", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "demo: 1 entries" in out
+        assert "sweep_wall_seconds" in out
+
+    def test_load_payload_roundtrip_through_write(self, tmp_path):
+        path = append_entry(
+            tmp_path, "demo", _metrics(0.1), commit="a"
+        )
+        payload = load_payload(path, "demo")
+        assert payload["entries"][0]["metrics"] == _metrics(0.1)

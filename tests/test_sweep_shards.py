@@ -158,8 +158,8 @@ class TestResume:
         manifest.save(str(tmp_path))
         # Nothing of the stale run counts as done for this grid.
         assert all(
-            done == 0
-            for _, done, _ in shard_status(manifest, str(tmp_path))
+            status.done == 0
+            for status in shard_status(manifest, str(tmp_path))
         )
         for shard in (0, 1):
             run_shard(manifest, shard, str(tmp_path))
@@ -411,13 +411,121 @@ class TestVectorizedInner:
         assert swept.ok, [c.error for c in swept.failures]
 
 
+class TestAtomicManifestSave:
+    """Regression: ``ShardManifest.save`` used to write in place — a
+    kill mid-save left a torn manifest that made every worker's
+    ``load`` raise until a human re-saved it."""
+
+    def test_interrupted_save_leaves_previous_manifest_intact(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.exec.shards as shards
+
+        manifest = compile_manifest(small_grid(), 2)
+        path = manifest.save(str(tmp_path))
+        good = ShardManifest.load(path)
+
+        def torn_dump(obj, handle, **kwargs):
+            handle.write('{"version": 1, "num_sh')
+            raise KeyboardInterrupt  # the kill, mid-write
+
+        monkeypatch.setattr(shards.json, "dump", torn_dump)
+        with pytest.raises(KeyboardInterrupt):
+            compile_manifest(small_grid()[:4], 2).save(str(tmp_path))
+        # The torn bytes never reached the manifest path.
+        assert ShardManifest.load(path) == good
+
+    def test_save_leaves_no_temp_droppings(self, tmp_path):
+        compile_manifest(small_grid(), 2).save(str(tmp_path))
+        assert os.listdir(str(tmp_path)) == ["manifest.json"]
+
+
+class TestDuplicateCheckpointRecords:
+    """Regression: a later duplicate record for an index silently
+    overwrote the earlier one without setting ``damaged``, so a
+    doubly-appended checkpoint (zombie writer + lease reclaimer) was
+    never repaired — and last-wins is the wrong winner anyway."""
+
+    def test_duplicate_index_is_damage_and_first_record_wins(
+        self, tmp_path, unsharded
+    ):
+        from repro.exec.shards import _checkpoint_record
+
+        manifest = compile_manifest(small_grid(), 2)
+        run_shard(manifest, 0, str(tmp_path), max_cells=2)
+        path = checkpoint_path(str(tmp_path), 0)
+        with open(path, "r", encoding="utf-8") as handle:
+            first = json.loads(handle.readline())
+        # A conflicting duplicate (a real zombie's would be identical
+        # since cells are deterministic; a detectably different one
+        # proves keep-first).
+        clobber = result_from_json(first["result"])
+        clobber.rounds = 9999
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(
+                _checkpoint_record(
+                    first["index"], clobber, manifest.grid_digest
+                )
+                + "\n"
+            )
+
+        assert shard_status(manifest, str(tmp_path))[0].damaged
+        resumed = run_shard(manifest, 0, str(tmp_path))
+        assert resumed.resumed == 2
+        assert resumed.complete
+
+        with open(path, "r", encoding="utf-8") as handle:
+            records = [
+                json.loads(line) for line in handle if line.strip()
+            ]
+        indices = [r["index"] for r in records]
+        assert len(indices) == len(set(indices))  # repaired: unique
+        kept = {r["index"]: r for r in records}[first["index"]]
+        assert kept["result"]["rounds"] == first["result"]["rounds"]
+        assert kept["result"]["rounds"] != 9999
+
+        run_shard(manifest, 1, str(tmp_path))
+        merged = merge_shards(manifest, str(tmp_path))
+        assert merged.fingerprint() == unsharded.fingerprint()
+
+
+class TestDamagedStatus:
+    """Regression: ``shard_status`` discarded the damaged flag, so a
+    torn checkpoint reported done-counts that silently *shrank* after
+    the next ``run_shard`` repaired it — and the fleet scheduler had
+    no way to treat such a shard as incomplete."""
+
+    def test_torn_checkpoint_is_flagged_until_repaired(self, tmp_path):
+        manifest = compile_manifest(small_grid(), 2)
+        run_shard(manifest, 0, str(tmp_path), max_cells=2)
+        path = checkpoint_path(str(tmp_path), 0)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"index": 4, "result": {"algo')  # torn
+        status = shard_status(manifest, str(tmp_path))[0]
+        assert status.damaged
+        assert not status.complete
+        assert status.done == 2
+
+        run_shard(manifest, 0, str(tmp_path))  # repairs, finishes
+        status = shard_status(manifest, str(tmp_path))[0]
+        assert not status.damaged
+        assert status.complete
+
+    def test_clean_checkpoints_report_undamaged(self, tmp_path):
+        manifest = compile_manifest(small_grid(), 2)
+        run_shard(manifest, 0, str(tmp_path))
+        first, second = shard_status(manifest, str(tmp_path))
+        assert not first.damaged and first.complete
+        assert not second.damaged and second.done == 0
+
+
 def test_run_sharded_writes_manifest_and_checkpoints(tmp_path):
     cells = small_grid()[:6]
     run_sharded(cells, 2, str(tmp_path))
     assert os.path.exists(os.path.join(str(tmp_path), "manifest.json"))
     manifest = ShardManifest.load(str(tmp_path))
     assert [
-        (shard, done, total)
-        for shard, done, total in shard_status(manifest, str(tmp_path))
-        if done != total
+        status
+        for status in shard_status(manifest, str(tmp_path))
+        if not status.complete
     ] == []

@@ -408,6 +408,55 @@ class TestInstanceCache:
         assert cache.stats.builds == builds + 1
 
 
+class TestAliasLeakRegression:
+    """Regression: re-storing a primary key with a *different* alias
+    set used to leak the old aliases — they survived the primary's
+    eviction and resolved to a dead key forever."""
+
+    def _registered_instance(self, edges):
+        from repro.workloads import Instance
+
+        nodes = tuple(sorted({v for e in edges for v in e}))
+        return Instance(
+            "restored-workload", 0, nodes, tuple(edges),
+            registered=True,
+        )
+
+    def test_restore_drops_the_previous_alias_set(self):
+        old = self._registered_instance([(0, 1)])
+        new = self._registered_instance([(0, 1), (1, 2)])
+        assert old.key == new.key and old.digest() != new.digest()
+        cache = InstanceCache()
+        cache.install([old])
+        stale_alias = ("adhoc", old.workload, old.seed, old.digest())
+        assert cache._lookup(stale_alias) is old
+        cache.install([new])  # same primary, different content alias
+        assert stale_alias not in cache._aliases
+        assert cache._lookup(stale_alias) is None
+        fresh_alias = ("adhoc", new.workload, new.seed, new.digest())
+        assert cache._lookup(fresh_alias) is new
+
+    def test_no_alias_outlives_its_evicted_primary(self):
+        cache = InstanceCache(max_instances=1)
+        cache.install([self._registered_instance([(0, 1)])])
+        cache.install(
+            [self._registered_instance([(0, 1), (1, 2)])]
+        )
+        # Evict the (single) re-stored primary with an unrelated get.
+        cache.get("gnp24", 0)
+        assert len(cache) == 1
+        assert cache._aliases == {}  # nothing points at dead keys
+
+    def test_prewarm_tags_survive_until_clear(self):
+        cache = InstanceCache()
+        tag = ("shard-prebuild", "digest", "fastpath")
+        assert not cache.was_prewarmed(tag)
+        cache.mark_prewarmed(tag)
+        assert cache.was_prewarmed(tag)
+        cache.clear()
+        assert not cache.was_prewarmed(tag)
+
+
 class TestConformanceUsesCache:
     def test_serial_conformance_derives_square_once_per_scenario(self):
         """The satellite fix: contract checks take the cached G²
