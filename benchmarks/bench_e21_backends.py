@@ -7,23 +7,40 @@ wall-clock on the largest one (and ``vectorized`` must beat
 ``fastpath`` where a kernel applies), and a sweep grid must
 aggregate byte-identically at any worker count.
 
-Three trajectories are persisted for cross-PR tracking
+Persisted for cross-PR tracking
 (``results/BENCH_e21_backends.json``): the per-backend wall-clock on
 the largest corpus workload, the vectorized-over-fastpath speedup on
-the trial kernel, and the instance-cache effect on the sweep hot
-path — contract checks take the one cached G² adjacency per
+the trial kernel, a per-kernel speedup row (with a hard >= 2x floor)
+for each of the PR-8 kernels — the hybrid randomized d2-Color
+kernels and the locally-iterative / part-offset poly-phase kernels
+behind deterministic-d2 and eps-d2-coloring — and the
+instance-cache effect on the sweep hot path — contract checks take the one cached G² adjacency per
 instance instead of rebuilding distance-2 adjacency per cell, which
 this bench asserts (one square build per instance, cells × specs
 sharing it) and times.
 """
 
+import random
 import time
 
 import pytest
 
 from repro import registry
+from repro.congest.network import Network
 from repro.congest.policy import BandwidthPolicy
-from repro.exec import SweepBackend, available_backends, grid_cells
+from repro.core.d2color import basic_d2_color, improved_d2_color
+from repro.core.trying import all_colored
+from repro.det.g_coloring import prime_between
+from repro.det.locally_iterative import LocallyIterativeProgram
+from repro.det.part_d2coloring import PartLocallyIterativeD2
+from repro.exec import (
+    SweepBackend,
+    available_backends,
+    get_backend,
+    grid_cells,
+    use_backend,
+)
+from repro.util.primes import bertrand_prime
 from repro.harness.experiments import e21_backends
 from repro.verify.checker import check_d2_coloring
 from repro.workloads import (
@@ -112,6 +129,135 @@ def test_vectorized_speedup_on_trial(benchmark):
         "workload": workload.name,
         "n": graph.number_of_nodes(),
         "algorithm": "trial",
+        "fastpath_wall_seconds": fast_s,
+        "vectorized_wall_seconds": vec_s,
+        "speedup": round(speedup, 2),
+    }
+
+
+def _distinct_colors(graph, bound, seed):
+    rng = random.Random(seed)
+    used = set()
+    colors = {}
+    for node in sorted(graph.nodes):
+        while True:
+            color = rng.randrange(bound)
+            if color not in used:
+                used.add(color)
+                colors[node] = color
+                break
+    return colors
+
+
+@pytest.mark.parametrize("variant", ["improved", "basic"])
+def test_kernel_speedup_randomized_d2(benchmark, variant):
+    """The hybrid d2-Color kernel's margin over fastpath (best of 2).
+
+    The random-trials section runs as array work; the
+    similarity/ladder epilogue resumes the generators.  Δ² < c2·log n
+    on this workload, so the deterministic fallback is disabled to
+    exercise the randomized pipeline itself.
+    """
+    workload = get_workload("rr4-huge-16384")
+    graph = instance_cache().get(workload, 7).graph()
+    policy = BandwidthPolicy.unbounded()
+    color = improved_d2_color if variant == "improved" else basic_d2_color
+
+    def run(backend):
+        walls = []
+        result = None
+        for _ in range(2):
+            t0 = time.perf_counter()
+            with use_backend(backend):
+                result = color(
+                    graph,
+                    seed=7,
+                    policy=policy,
+                    allow_deterministic_fallback=False,
+                )
+            walls.append(time.perf_counter() - t0)
+        return min(walls), result
+
+    fast_s, fast = run("fastpath")
+    vec_s, vec = benchmark.pedantic(
+        lambda: run("vectorized"), iterations=1, rounds=1
+    )
+    assert vec.coloring == fast.coloring
+    assert vec.rounds == fast.rounds
+    speedup = fast_s / vec_s
+    assert speedup >= 2.0, (fast_s, vec_s)
+    _PAYLOAD.setdefault("kernel_speedups", {})[f"{variant}-d2color"] = {
+        "workload": workload.name,
+        "n": graph.number_of_nodes(),
+        "fastpath_wall_seconds": fast_s,
+        "vectorized_wall_seconds": vec_s,
+        "speedup": round(speedup, 2),
+    }
+
+
+@pytest.mark.parametrize(
+    "kernel", ["deterministic-d2", "eps-d2-coloring"]
+)
+def test_kernel_speedup_poly_phase(benchmark, kernel):
+    """The poly-phase try-phase stages — the kernelized core of the
+    deterministic-d2 and eps-d2-coloring pipelines — timed as the
+    stage networks those pipelines build (best of 3 each)."""
+    workload = get_workload("multileaf48x40")
+    instance = instance_cache().get(workload, 21)
+    graph = instance.graph()
+    delta = instance.delta
+    policy = BandwidthPolicy.unbounded()
+    if kernel == "deterministic-d2":
+        q = bertrand_prime(max(delta, 1))
+        colors = _distinct_colors(graph, q * q, 21)
+        inputs = {
+            v: {"q": q, "color_in": colors[v]} for v in graph.nodes
+        }
+        program = LocallyIterativeProgram
+    else:
+        d_part = max(1, delta)
+        q = prime_between(4 * d_part, 8 * d_part)
+        colors = _distinct_colors(graph, q * q, 21)
+        inputs = {
+            v: {"q": q, "part": v % 4, "color_in": colors[v]}
+            for v in graph.nodes
+        }
+        program = PartLocallyIterativeD2
+
+    def run(backend):
+        walls = []
+        run_result = None
+        for _ in range(3):
+            network = Network(
+                graph,
+                program,
+                seed=21,
+                delta=delta,
+                policy=policy,
+                inputs=inputs,
+            )
+            t0 = time.perf_counter()
+            run_result = get_backend(backend).execute(
+                network,
+                stop_when=all_colored,
+                raise_on_timeout=False,
+                max_rounds=3 * q + 3,
+            )
+            walls.append(time.perf_counter() - t0)
+        return min(walls), run_result
+
+    fast_s, fast = run("fastpath")
+    vec_s, vec = benchmark.pedantic(
+        lambda: run("vectorized"), iterations=1, rounds=1
+    )
+    assert vec.outputs == fast.outputs
+    assert vec.metrics == fast.metrics
+    speedup = fast_s / vec_s
+    assert speedup >= 2.0, (fast_s, vec_s)
+    _PAYLOAD.setdefault("kernel_speedups", {})[kernel] = {
+        "workload": workload.name,
+        "n": graph.number_of_nodes(),
+        "q": q,
         "fastpath_wall_seconds": fast_s,
         "vectorized_wall_seconds": vec_s,
         "speedup": round(speedup, 2),

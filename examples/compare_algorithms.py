@@ -24,6 +24,7 @@ Run:  python examples/compare_algorithms.py
 """
 
 import argparse
+import sys
 
 from repro import registry
 from repro.exec import SweepBackend, SweepCell, available_backends
@@ -134,6 +135,26 @@ def main() -> None:
         '(default: the "showcase"-tagged set)',
     )
     args = parser.parse_args()
+
+    if args.backend == "vectorized":
+        # One warning up front (not one per instance) for every spec
+        # that has no array kernel and will run via fastpath.
+        from repro.exec.vectorized import kernel_coverage
+
+        coverage = kernel_coverage()
+        uncovered = sorted(
+            spec.name
+            for spec in registry.ALGORITHMS
+            if spec.name not in coverage
+        )
+        if uncovered:
+            print(
+                "note: no vectorized kernel for "
+                + ", ".join(uncovered)
+                + " — these fall back to fastpath (see "
+                "docs/BACKENDS.md)",
+                file=sys.stderr,
+            )
 
     if args.workloads:
         specs = [get_workload(name) for name in args.workloads]

@@ -111,8 +111,8 @@ def luby_distance_k_mis(
     )
     mis: Set[int] = {
         node
-        for node, program in network.programs.items()
-        if program.state == _STATE_IN_MIS
+        for node, state in network.node_table("state").items()
+        if state == _STATE_IN_MIS
     }
     return mis, run.metrics.rounds, run.metrics
 

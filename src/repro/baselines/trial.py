@@ -16,11 +16,7 @@ import networkx as nx
 from repro.congest.network import Network
 from repro.congest.node import NodeContext, NodeProgram
 from repro.congest.policy import BandwidthPolicy
-from repro.core.trying import (
-    TryPhaseMixin,
-    all_colored,
-    coloring_from_programs,
-)
+from repro.core.trying import TryPhaseMixin, all_colored
 from repro.results import ColoringResult
 
 
@@ -89,7 +85,7 @@ def trial_d2_color(
         stop_when=all_colored,
         raise_on_timeout=False,
     )
-    coloring = coloring_from_programs(network.programs)
+    coloring = network.node_colors()
     return ColoringResult(
         algorithm=f"trial(eps={eps})",
         coloring=coloring,

@@ -19,6 +19,20 @@ default; ``fastpath`` strips metering overhead on large instances).
 Backends differ only in mechanics — the delivered messages, outputs
 and round counts are identical.
 
+Node materialization is *lazy*: building n ``NodeProgram`` objects, n
+``random.Random`` streams and n generator frames is pure overhead for
+a run the vectorized backend executes entirely in arrays, so
+``__init__`` only validates and records the recipe.  The Python nodes
+are built on first access of :attr:`contexts`/:attr:`programs` (or
+explicitly via :meth:`materialize`); per-node RNG streams come from
+one bulk :func:`~repro.congest.rng.derive_ints` pass, bit-identical to
+the per-node derivation.  Kernels that never materialize publish
+observable end-state through :meth:`node_colors`/:meth:`node_table`
+and leave a deferred write-back that runs if nodes are built later.
+One consequence: program-constructor errors (e.g. a missing input key)
+surface at first materialization — usually :meth:`run` — rather than
+at ``Network(...)`` construction.
+
 ``stop_when`` is a *simulation-level* convenience (it peeks at global
 state, which no CONGEST node could): it only stops the simulation
 early, e.g. once every node is colored, and is reported as such.
@@ -27,8 +41,17 @@ early, e.g. once every node is colored, and is reported as such.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+)
 
 import networkx as nx
 
@@ -40,7 +63,9 @@ from repro.congest.message import Broadcast, bit_size
 from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.congest.node import NodeContext, NodeProgram
 from repro.congest.policy import BandwidthMode, BandwidthPolicy
-from repro.congest.rng import derive_rng
+from repro.congest.rng import derive_ints
+
+_EMPTY_INPUT: Dict[str, Any] = {}
 
 
 @dataclass
@@ -51,12 +76,84 @@ class RunResult:
     metrics: RunMetrics
     halted: bool
     stopped_early: bool = False
-    #: Node -> program instance, for post-hoc state inspection in tests.
-    programs: Dict[int, NodeProgram] = field(default_factory=dict)
+    #: Node -> program instance, for post-hoc state inspection in
+    #: tests.  May be a lazy mapping that materializes the Python
+    #: nodes on first item access (kernel-executed runs).
+    programs: Mapping[int, NodeProgram] = field(default_factory=dict)
 
     @property
     def rounds(self) -> int:
         return self.metrics.rounds
+
+
+class _LazyPrograms(Mapping):
+    """Read-only ``{node: program}`` view that defers materialization.
+
+    Iteration and ``len`` come from the graph; the Python node objects
+    are only built when a program is actually subscripted.
+    """
+
+    __slots__ = ("_network",)
+
+    def __init__(self, network: "Network"):
+        self._network = network
+
+    def __getitem__(self, node: int) -> NodeProgram:
+        return self._network.programs[node]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._network.graph.nodes)
+
+    def __len__(self) -> int:
+        return self._network.n
+
+
+class NetworkPlan:
+    """Array-level view of a network for vectorized kernels.
+
+    Everything a kernel needs without touching Python node objects:
+    the CSR G/G² adjacency (shared with :meth:`Instance.csr`), the
+    dense node order, per-node input dicts, and the per-node RNG
+    streams — derived in one bulk hashing pass and *shared* with any
+    later materialization, so array draws and generator draws always
+    advance the same ``random.Random`` objects.
+    """
+
+    __slots__ = ("network", "csr", "_seeds", "_rngs")
+
+    def __init__(self, network: "Network", csr):
+        self.network = network
+        self.csr = csr
+        self._seeds: Optional[List[int]] = None
+        self._rngs: Optional[List[random.Random]] = None
+
+    @property
+    def order(self):
+        """Dense node order (sorted labels) shared with the CSR."""
+        return self.csr.order
+
+    def rng_seeds(self) -> List[int]:
+        """Per-node 64-bit RNG seeds, aligned with :attr:`order`."""
+        if self._seeds is None:
+            self._seeds = derive_ints(
+                self.network._seed, "node", self.order
+            )
+        return self._seeds
+
+    def rngs(self) -> List[random.Random]:
+        """Per-node RNG streams, aligned with :attr:`order`.
+
+        The same objects end up in ``contexts[v].rng`` if the network
+        materializes later, so kernel draws stay on-stream.
+        """
+        if self._rngs is None:
+            self._rngs = [random.Random(s) for s in self.rng_seeds()]
+        return self._rngs
+
+    def input_for(self, node: int) -> Dict[str, Any]:
+        """The (unmaterialized) input dict of ``node``; never copied,
+        callers must not mutate it."""
+        return self.network._inputs.get(node, _EMPTY_INPUT)
 
 
 class Network:
@@ -77,7 +174,9 @@ class Network:
         Maximum degree communicated to nodes; defaults to the true
         maximum degree of ``graph``.
     inputs:
-        Optional ``{node: dict}`` of per-node protocol inputs.
+        Optional ``{node: dict}`` of per-node protocol inputs.  Read
+        at materialization time (copied per node then); mutating it
+        between construction and the first run is unsupported.
     """
 
     def __init__(
@@ -106,31 +205,146 @@ class Network:
             else max((d for _, d in graph.degree), default=0)
         )
         self._budget = self.policy.budget_bits(self.n)
-        inputs = inputs or {}
+        self._seed = seed
+        self.program_factory = program_factory
+        self._inputs: Dict[int, Dict[str, Any]] = inputs or {}
 
-        self.contexts: Dict[int, NodeContext] = {}
-        self.programs: Dict[int, NodeProgram] = {}
-        self._generators: Dict[int, Any] = {}
+        self._contexts: Optional[Dict[int, NodeContext]] = None
+        self._programs: Optional[Dict[int, NodeProgram]] = None
+        self._gens: Optional[Dict[int, Any]] = None
+        self._nbr_sets: Optional[Dict[int, frozenset]] = None
+        self._plan: Optional[NetworkPlan] = None
+        #: Kernel-recorded end-state: callables applied to the freshly
+        #: built programs if/when the network materializes.
+        self._deferred_state: List[Callable[[Dict[int, NodeProgram]], None]] = []
+        #: Kernel-published observable tables ({name: () -> dict}).
+        self._vector_tables: Dict[str, Callable[[], Dict[int, Any]]] = {}
+        self.outputs: Dict[int, Any] = {}
+        self._started = False
+
+    # -- lazy materialization ------------------------------------------
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the Python node objects have been built."""
+        return self._programs is not None
+
+    def materialize(self) -> Dict[int, NodeProgram]:
+        """Build contexts/programs/generators (idempotent)."""
+        if self._programs is None:
+            self._build_nodes()
+        return self._programs
+
+    def _build_nodes(self) -> None:
+        graph = self.graph
+        inputs = self._inputs
+        if self._plan is not None:
+            # Reuse the plan's RNG objects: kernel draws already
+            # advanced them, so generator draws continue on-stream.
+            rng_of = dict(zip(self._plan.order, self._plan.rngs()))
+        else:
+            nodes = list(graph.nodes)
+            rng_of = dict(
+                zip(
+                    nodes,
+                    (
+                        random.Random(s)
+                        for s in derive_ints(self._seed, "node", nodes)
+                    ),
+                )
+            )
+        contexts: Dict[int, NodeContext] = {}
+        programs: Dict[int, NodeProgram] = {}
+        gens: Dict[int, Any] = {}
+        factory = self.program_factory
+        n, delta = self.n, self.delta
         for node in graph.nodes:
             ctx = NodeContext(
                 node=node,
                 neighbors=tuple(sorted(graph.neighbors(node))),
-                n=self.n,
-                delta=self.delta,
-                rng=derive_rng(seed, "node", node),
-                data=dict(inputs.get(node, {})),
+                n=n,
+                delta=delta,
+                rng=rng_of[node],
+                data=dict(inputs.get(node, _EMPTY_INPUT)),
             )
-            self.contexts[node] = ctx
-            program = program_factory(ctx)
-            self.programs[node] = program
-            self._generators[node] = program.run()
-
-        self._neighbor_sets = {
+            contexts[node] = ctx
+            program = factory(ctx)
+            programs[node] = program
+            gens[node] = program.run()
+        self._contexts = contexts
+        self._programs = programs
+        self._gens = gens
+        self._nbr_sets = {
             node: frozenset(ctx.neighbors)
-            for node, ctx in self.contexts.items()
+            for node, ctx in contexts.items()
         }
-        self.outputs: Dict[int, Any] = {}
-        self._started = False
+        deferred, self._deferred_state = self._deferred_state, []
+        for apply_state in deferred:
+            apply_state(programs)
+
+    @property
+    def contexts(self) -> Dict[int, NodeContext]:
+        self.materialize()
+        return self._contexts
+
+    @property
+    def programs(self) -> Dict[int, NodeProgram]:
+        self.materialize()
+        return self._programs
+
+    @property
+    def _generators(self) -> Dict[int, Any]:
+        self.materialize()
+        return self._gens
+
+    @property
+    def _neighbor_sets(self) -> Dict[int, frozenset]:
+        self.materialize()
+        return self._nbr_sets
+
+    def plan(self) -> NetworkPlan:
+        """The array-level :class:`NetworkPlan` (built on first use)."""
+        if self._plan is None:
+            from repro.exec import arrays
+
+            self._plan = NetworkPlan(
+                self, arrays.csr_for_graph(self.graph)
+            )
+        return self._plan
+
+    # -- observable end-state without materialization ------------------
+
+    def node_colors(self) -> Dict[int, Optional[int]]:
+        """``{node: color}`` after a run.
+
+        Served from a kernel-published array table when the run never
+        built Python nodes; otherwise read from the programs.
+        """
+        table = self._vector_tables.get("color")
+        if table is not None and not self.materialized:
+            return table()
+        return {
+            node: program.color
+            for node, program in self.programs.items()
+        }
+
+    def node_table(self, attr: str) -> Dict[int, Any]:
+        """``{node: getattr(program, attr)}`` after a run, served from
+        a kernel-published array table when one exists."""
+        table = self._vector_tables.get(attr)
+        if table is not None and not self.materialized:
+            return table()
+        return {
+            node: getattr(program, attr)
+            for node, program in self.programs.items()
+        }
+
+    def result_programs(self) -> Mapping[int, NodeProgram]:
+        """Programs mapping for a :class:`RunResult` — the real dict
+        when built, else a lazy view."""
+        if self.materialized:
+            return self._programs
+        return _LazyPrograms(self)
 
     # ------------------------------------------------------------------
 

@@ -31,7 +31,7 @@ from repro.core.learn_palette import (
 from repro.core.reduce import ReduceMixin, ReduceStats
 from repro.core.sampling import filter_width
 from repro.core.similarity import SimilarityConfig, SimilarityMixin
-from repro.core.trying import all_colored, coloring_from_programs
+from repro.core.trying import all_colored
 from repro.results import ColoringResult, PhaseResult
 
 
@@ -43,6 +43,14 @@ class RandomizedD2Program(
     NodeProgram,
 ):
     """One node of d2-Color / Improved-d2-Color."""
+
+    #: Set by the vectorized backend's hybrid kernel after it has run
+    #: the random-trials section as array work: ``(rounds, adopts)``
+    #: where ``rounds`` is the section's round count for the phase log
+    #: and ``adopts`` the final-round adopt messages this node would
+    #: have recorded.  ``run`` then skips the generator-executed
+    #: trials and replays those observable effects instead.
+    _kernel_prefix = None
 
     def __init__(self, ctx: NodeContext):
         super().__init__(ctx)
@@ -95,12 +103,29 @@ class RandomizedD2Program(
         while True:
             yield from self.reduce(floor, 1.0)
 
+    def _trials_or_prefix(self):
+        """The random-trials section, or its kernel-computed replay.
+
+        When the hybrid kernel already executed the trials as array
+        work it leaves ``_kernel_prefix`` behind; the generator then
+        reproduces the section's observable footprint — the phase-log
+        entry and the final-round adopt records — without yielding.
+        """
+        prefix = self._kernel_prefix
+        if prefix is not None:
+            self._kernel_prefix = None
+            rounds, adopts = prefix
+            self.phase_log.append(("trials", rounds))
+            self.nbr_colors.update(adopts)
+            return
+        yield from self._tracked("trials", self._random_trials())
+
     # ------------------------------------------------------------------
 
     def run(self):
         if self.variant == "improved":
             # Improved-d2-Color: trials, then similarity graphs.
-            yield from self._tracked("trials", self._random_trials())
+            yield from self._trials_or_prefix()
             self.similarity = yield from self._tracked(
                 "similarity", self.build_similarity(self.sim_config)
             )
@@ -116,7 +141,7 @@ class RandomizedD2Program(
             self.similarity = yield from self._tracked(
                 "similarity", self.build_similarity(self.sim_config)
             )
-            yield from self._tracked("trials", self._random_trials())
+            yield from self._trials_or_prefix()
             yield from self._tracked("reduce-ladder", self._ladder())
             yield from self._final_reduce_forever()
 
@@ -192,7 +217,7 @@ def _run_randomized(
         stop_when=all_colored,
         raise_on_timeout=False,
     )
-    coloring = coloring_from_programs(network.programs)
+    coloring = network.node_colors()
     result = ColoringResult(
         algorithm=f"{variant}-d2color",
         coloring=coloring,

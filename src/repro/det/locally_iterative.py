@@ -24,11 +24,7 @@ import networkx as nx
 from repro.congest.network import Network
 from repro.congest.node import NodeContext, NodeProgram
 from repro.congest.policy import BandwidthPolicy
-from repro.core.trying import (
-    TryPhaseMixin,
-    all_colored,
-    coloring_from_programs,
-)
+from repro.core.trying import TryPhaseMixin, all_colored
 from repro.results import ColoringResult
 from repro.util.fq import Poly1
 from repro.util.primes import bertrand_prime
@@ -97,11 +93,8 @@ def locally_iterative_d2_coloring(
         raise_on_timeout=False,
         max_rounds=3 * q + 3,
     )
-    coloring = coloring_from_programs(network.programs)
-    blocked = {
-        v: program.blocked_phases
-        for v, program in network.programs.items()
-    }
+    coloring = network.node_colors()
+    blocked = network.node_table("blocked_phases")
     return ColoringResult(
         algorithm="locally-iterative-d2",
         coloring=coloring,

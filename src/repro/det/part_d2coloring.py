@@ -29,7 +29,7 @@ from repro.congest.network import Network
 from repro.congest.node import NodeContext, NodeProgram
 from repro.congest.pipelining import items_per_message
 from repro.congest.policy import BandwidthPolicy
-from repro.core.trying import TryPhaseMixin, all_colored, coloring_from_programs
+from repro.core.trying import TryPhaseMixin, all_colored
 from repro.det.g_coloring import prime_between
 from repro.det.linial import linial_d2_coloring
 from repro.results import ColoringResult
@@ -257,10 +257,8 @@ def part_d2_coloring(
         raise_on_timeout=False,
         max_rounds=3 * q + 3,
     )
-    li_coloring = coloring_from_programs(net.programs)
-    blocked = {
-        v: p.blocked_phases for v, p in net.programs.items()
-    }
+    li_coloring = net.node_colors()
+    blocked = net.node_table("blocked_phases")
     if any(c is None for c in li_coloring.values()):
         raise AssertionError(
             "part locally-iterative left nodes uncolored"

@@ -14,6 +14,13 @@ with the per-round overhead stripped out of the hot loop:
   :func:`~repro.congest.message.bit_size` — the dominant per-message
   cost, it walks every payload recursively — is skipped entirely.
 
+The loop lives in :class:`GeneratorLoop`, a *resumable* driver: the
+vectorized backend's hybrid kernels run a program's array-friendly
+middle section as batched numpy work and use the same loop for the
+generator-executed prologue/epilogue, pausing at an exact round
+boundary (``run_until(bound)``) and resuming later with the round
+index and metering accumulators advanced by the array section.
+
 Guarantees (enforced by ``tests/test_backend_equivalence.py``):
 node outputs, round counts, halting/stopping status and error
 behaviour are identical to ``reference`` for every policy.  Under
@@ -47,6 +54,229 @@ from repro.exec.base import ExecutionBackend
 
 _EMPTY_INBOX: Dict[int, Any] = MappingProxyType({})
 
+#: ``run_until`` outcomes.
+PAUSED = "paused"
+STOPPED = "stopped"
+TIMEOUT = "timeout"
+HALTED = "halted"
+
+
+class GeneratorLoop:
+    """Resumable fastpath-style driver over a network's generators.
+
+    Holds the full loop state across calls: live generators, in-flight
+    inboxes, the round index, and the metering accumulators.  A hybrid
+    kernel pauses the loop at a round boundary, executes a window of
+    rounds as array work (bumping :attr:`round_index`, :attr:`rounds`
+    and the accumulators itself), and resumes — the generators then
+    receive exactly the inboxes they would have seen.
+    """
+
+    def __init__(self, network):
+        network.materialize()
+        self.network = network
+        mode = network.policy.mode
+        self.metered = mode is not BandwidthMode.UNBOUNDED
+        self.strict = mode is BandwidthMode.STRICT
+        self.budget = network._budget
+        # Preallocated adjacency: one tuple per node, resolved once.
+        self.neighbors = {
+            node: ctx.neighbors for node, ctx in network.contexts.items()
+        }
+        self.neighbor_sets = network._neighbor_sets
+        self.running = dict(network._generators)
+        self.inboxes: Dict[int, Dict[int, Any]] = {}
+        #: True once the generators have received their first resume
+        #: (a fresh generator must be sent None, not an inbox).
+        self.primed = network._started
+        self.round_index = 0
+        self.rounds = 0
+        self.total_messages = 0
+        self.total_bits = 0
+        self.max_message_bits = 0
+        self.violations = 0
+        self.worst_violation_bits = 0
+        self.stopped_early = False
+
+    def run_until(
+        self,
+        bound: Optional[int],
+        *,
+        max_rounds: int,
+        stop_when: Optional[Callable] = None,
+        raise_on_timeout: bool = True,
+    ) -> str:
+        """Drive rounds while ``round_index < bound`` (``None`` = no
+        bound).  Returns ``PAUSED``/``STOPPED``/``TIMEOUT``/``HALTED``.
+        """
+        network = self.network
+        metered = self.metered
+        strict = self.strict
+        budget = self.budget
+        neighbors = self.neighbors
+        neighbor_sets = self.neighbor_sets
+        outputs = network.outputs
+        running = self.running
+        inboxes = self.inboxes
+        primed = self.primed
+        round_index = self.round_index
+        rounds = self.rounds
+        total_messages = self.total_messages
+        total_bits = self.total_bits
+        max_message_bits = self.max_message_bits
+        violations = self.violations
+        worst_violation_bits = self.worst_violation_bits
+        status = HALTED
+
+        try:
+            while running:
+                if bound is not None and round_index >= bound:
+                    status = PAUSED
+                    break
+                # Monitor before timeout (same order as reference): a
+                # stop condition reached on the final round is an
+                # early stop.
+                if stop_when is not None and stop_when(
+                    network, round_index
+                ):
+                    self.stopped_early = True
+                    status = STOPPED
+                    break
+                if round_index >= max_rounds:
+                    if raise_on_timeout:
+                        raise NonterminationError(
+                            max_rounds, set(running)
+                        )
+                    status = TIMEOUT
+                    break
+
+                next_inboxes: Dict[int, Dict[int, Any]] = {}
+                halted_now = []
+                round_messages = 0
+
+                for node, gen in running.items():
+                    try:
+                        if primed:
+                            outbox = gen.send(
+                                inboxes.get(node, _EMPTY_INBOX)
+                            )
+                        else:
+                            outbox = gen.send(None)
+                    except StopIteration as stop:
+                        outputs[node] = stop.value
+                        halted_now.append(node)
+                        continue
+                    if outbox is None:
+                        continue
+                    if isinstance(outbox, Broadcast):
+                        payload = outbox.payload
+                        if metered:
+                            bits = bit_size(payload)
+                            total_bits += bits
+                            if bits > max_message_bits:
+                                max_message_bits = bits
+                            if bits > budget:
+                                if strict:
+                                    raise BandwidthExceededError(
+                                        node, "<all>", bits, budget
+                                    )
+                                violations += 1
+                                if bits > worst_violation_bits:
+                                    worst_violation_bits = bits
+                        # One metered message fanned out to all
+                        # neighbors (matches reference: a broadcast
+                        # counts once).
+                        total_messages += 1
+                        nbrs = neighbors[node]
+                        for receiver in nbrs:
+                            box = next_inboxes.get(receiver)
+                            if box is None:
+                                next_inboxes[receiver] = {node: payload}
+                            else:
+                                box[node] = payload
+                        round_messages += len(nbrs)
+                        continue
+                    if not isinstance(outbox, dict):
+                        raise ProtocolViolationError(
+                            f"node {node} yielded "
+                            f"{type(outbox).__name__}; expected dict or "
+                            "Broadcast"
+                        )
+                    if not outbox:
+                        continue
+                    allowed = neighbor_sets[node]
+                    for receiver, payload in outbox.items():
+                        if receiver not in allowed:
+                            raise ProtocolViolationError(
+                                f"node {node} sent to non-neighbor "
+                                f"{receiver}"
+                            )
+                        if metered:
+                            bits = bit_size(payload)
+                            total_bits += bits
+                            if bits > max_message_bits:
+                                max_message_bits = bits
+                            if bits > budget:
+                                if strict:
+                                    raise BandwidthExceededError(
+                                        node, receiver, bits, budget
+                                    )
+                                violations += 1
+                                if bits > worst_violation_bits:
+                                    worst_violation_bits = bits
+                        total_messages += 1
+                        box = next_inboxes.get(receiver)
+                        if box is None:
+                            next_inboxes[receiver] = {node: payload}
+                        else:
+                            box[node] = payload
+                        round_messages += 1
+
+                primed = True
+                network._started = True
+
+                for node in halted_now:
+                    del running[node]
+                inboxes = next_inboxes
+                # Trailing halt-only resumes are local computation, not
+                # a communication round (same accounting as reference).
+                if running or round_messages > 0:
+                    rounds += 1
+                round_index += 1
+        finally:
+            self.primed = primed
+            self.round_index = round_index
+            self.rounds = rounds
+            self.total_messages = total_messages
+            self.total_bits = total_bits
+            self.max_message_bits = max_message_bits
+            self.violations = violations
+            self.worst_violation_bits = worst_violation_bits
+            self.inboxes = inboxes
+        return status
+
+    def result(self):
+        """Assemble the :class:`RunResult` for the rounds driven so
+        far."""
+        from repro.congest.network import RunResult
+
+        metrics = RunMetrics(
+            rounds=self.rounds,
+            total_messages=self.total_messages,
+            total_bits=self.total_bits,
+            max_message_bits=self.max_message_bits,
+            budget_bits=self.budget,
+            violations=self.violations,
+            worst_violation_bits=self.worst_violation_bits,
+        )
+        return RunResult(
+            outputs=dict(self.network.outputs),
+            metrics=metrics,
+            halted=not self.running,
+            stopped_early=self.stopped_early,
+            programs=self.network.programs,
+        )
+
 
 class FastpathBackend(ExecutionBackend):
     """Metering-light lockstep executor for large instances."""
@@ -72,149 +302,11 @@ class FastpathBackend(ExecutionBackend):
                 raise_on_timeout=raise_on_timeout,
                 record_rounds=True,
             )
-        from repro.congest.network import RunResult
-
-        mode = network.policy.mode
-        metered = mode is not BandwidthMode.UNBOUNDED
-        strict = mode is BandwidthMode.STRICT
-        budget = network._budget
-        # Preallocated adjacency: one tuple per node, resolved once.
-        neighbors = {
-            node: ctx.neighbors for node, ctx in network.contexts.items()
-        }
-        neighbor_sets = network._neighbor_sets
-        outputs = network.outputs
-
-        running = dict(network._generators)
-        inboxes: Dict[int, Dict[int, Any]] = {}
-        stopped_early = False
-        started = network._started
-
-        total_messages = 0
-        total_bits = 0
-        max_message_bits = 0
-        violations = 0
-        worst_violation_bits = 0
-        rounds = 0
-
-        round_index = 0
-        while running:
-            # Monitor before timeout (same order as reference): a stop
-            # condition reached on the final round is an early stop.
-            if stop_when is not None and stop_when(network, round_index):
-                stopped_early = True
-                break
-            if round_index >= max_rounds:
-                if raise_on_timeout:
-                    raise NonterminationError(max_rounds, set(running))
-                break
-
-            next_inboxes: Dict[int, Dict[int, Any]] = {}
-            halted_now = []
-            round_messages = 0
-
-            for node, gen in running.items():
-                try:
-                    if started or round_index > 0:
-                        outbox = gen.send(
-                            inboxes.get(node, _EMPTY_INBOX)
-                        )
-                    else:
-                        outbox = gen.send(None)
-                except StopIteration as stop:
-                    outputs[node] = stop.value
-                    halted_now.append(node)
-                    continue
-                if outbox is None:
-                    continue
-                if isinstance(outbox, Broadcast):
-                    payload = outbox.payload
-                    if metered:
-                        bits = bit_size(payload)
-                        total_bits += bits
-                        if bits > max_message_bits:
-                            max_message_bits = bits
-                        if bits > budget:
-                            if strict:
-                                raise BandwidthExceededError(
-                                    node, "<all>", bits, budget
-                                )
-                            violations += 1
-                            if bits > worst_violation_bits:
-                                worst_violation_bits = bits
-                    # One metered message fanned out to all neighbors
-                    # (matches reference: a broadcast counts once).
-                    total_messages += 1
-                    nbrs = neighbors[node]
-                    for receiver in nbrs:
-                        box = next_inboxes.get(receiver)
-                        if box is None:
-                            next_inboxes[receiver] = {node: payload}
-                        else:
-                            box[node] = payload
-                    round_messages += len(nbrs)
-                    continue
-                if not isinstance(outbox, dict):
-                    raise ProtocolViolationError(
-                        f"node {node} yielded "
-                        f"{type(outbox).__name__}; expected dict or "
-                        "Broadcast"
-                    )
-                if not outbox:
-                    continue
-                allowed = neighbor_sets[node]
-                for receiver, payload in outbox.items():
-                    if receiver not in allowed:
-                        raise ProtocolViolationError(
-                            f"node {node} sent to non-neighbor "
-                            f"{receiver}"
-                        )
-                    if metered:
-                        bits = bit_size(payload)
-                        total_bits += bits
-                        if bits > max_message_bits:
-                            max_message_bits = bits
-                        if bits > budget:
-                            if strict:
-                                raise BandwidthExceededError(
-                                    node, receiver, bits, budget
-                                )
-                            violations += 1
-                            if bits > worst_violation_bits:
-                                worst_violation_bits = bits
-                    total_messages += 1
-                    box = next_inboxes.get(receiver)
-                    if box is None:
-                        next_inboxes[receiver] = {node: payload}
-                    else:
-                        box[node] = payload
-                    round_messages += 1
-
-            started = True
-            network._started = True
-
-            for node in halted_now:
-                del running[node]
-            inboxes = next_inboxes
-            # Trailing halt-only resumes are local computation, not a
-            # communication round (same accounting as reference).
-            if running or round_messages > 0:
-                rounds += 1
-            round_index += 1
-
-        metrics = RunMetrics(
-            rounds=rounds,
-            total_messages=total_messages,
-            total_bits=total_bits,
-            max_message_bits=max_message_bits,
-            budget_bits=budget,
-            violations=violations,
-            worst_violation_bits=worst_violation_bits,
+        loop = GeneratorLoop(network)
+        loop.run_until(
+            None,
+            max_rounds=max_rounds,
+            stop_when=stop_when,
+            raise_on_timeout=raise_on_timeout,
         )
-        return RunResult(
-            outputs=dict(outputs),
-            metrics=metrics,
-            halted=not running,
-            stopped_early=stopped_early,
-            programs=network.programs,
-        )
+        return loop.result()

@@ -8,20 +8,40 @@ there is no per-node generator dispatch in the hot loop at all.
 
 Semantics are *identical* to ``reference``/``fastpath`` — same
 outputs, same round counts, same per-node RNG consumption (kernels
-draw from the very same ``network.contexts[v].rng`` streams the
-generators would), and bit-identical ``RunMetrics`` under metered
-policies.  Like fastpath, UNBOUNDED runs skip message *sizing*
-(``total_bits``/``max_message_bits`` stay 0).
+draw from the very same per-node streams the generators would), and
+bit-identical ``RunMetrics`` under metered policies.  Like fastpath,
+UNBOUNDED runs skip message *sizing* (``total_bits``/
+``max_message_bits`` stay 0).
 
-Coverage is per program class, not per call site: a kernel exists for
-the randomized trial/slack pipeline (:class:`TrialProgram`) and for
-Luby distance-k MIS (:class:`LubyDistanceKProgram`).  Everything else
-— and every run a kernel cannot replay exactly (custom ``stop_when``
-monitors, ``avoid_known`` candidate selection, self-loop graphs,
-metered payloads that could exceed the budget, rank values that could
-leave int64) — falls back to ``fastpath`` automatically, so
-``backend="vectorized"`` is always safe to request.  The guarantees
-are enforced by ``tests/test_backend_equivalence.py`` and
+Kernels run off the :class:`~repro.congest.network.NetworkPlan` —
+the CSR adjacency plus bulk-derived RNG streams — so a kernel-covered
+run on an *unmaterialized* network never builds a Python node object
+at all: end-state is published through ``Network.node_colors()``/
+``node_table()`` and written back to programs only if somebody later
+materializes them.  Hybrid kernels (the randomized d2-color pipeline)
+execute the array-friendly try-phase window as batched numpy work and
+drive the surrounding protocol sections through the resumable
+:class:`~repro.exec.fastpath.GeneratorLoop`.
+
+Coverage is per program class, not per call site:
+
+- :class:`TrialProgram` — the whole run (never halts);
+- :class:`LubyDistanceKProgram` — the whole run (never halts);
+- :class:`LocallyIterativeProgram` / :class:`PartLocallyIterativeD2`
+  — the whole bounded 3q-round schedule, halting included (these are
+  the try-phase stages of ``deterministic-d2`` and
+  ``eps-d2-coloring``);
+- :class:`RandomizedD2Program` — the ``c0·log n`` random-trials
+  section of ``improved-d2color``/``basic-d2color``; similarity,
+  reduce, learn-palette and finish still run as generators.
+
+Everything else — and every run a kernel cannot replay exactly
+(custom ``stop_when`` monitors, ``avoid_known`` candidate selection,
+self-loop graphs, metered payloads that could exceed the budget,
+values that could leave int64, preseeded program state) — falls back
+to ``fastpath`` automatically, so ``backend="vectorized"`` is always
+safe to request.  The guarantees are enforced by
+``tests/test_backend_equivalence.py`` and
 ``tests/test_exec_vectorized.py``.
 """
 
@@ -42,8 +62,12 @@ from repro.congest.errors import NonterminationError
 from repro.congest.message import bit_size, int_bits
 from repro.congest.metrics import RunMetrics
 from repro.congest.policy import BandwidthMode
+from repro.core.d2color import RandomizedD2Program
 from repro.core.trying import TAG_ADOPT, TAG_TRY, TAG_VERDICT, all_colored
+from repro.det.locally_iterative import LocallyIterativeProgram
+from repro.det.part_d2coloring import PartLocallyIterativeD2
 from repro.exec.base import ExecutionBackend
+from repro.exec.fastpath import PAUSED, GeneratorLoop
 
 try:  # numpy/scipy are required deps, but degrade gracefully without
     import numpy as np
@@ -61,18 +85,42 @@ _INT64_SAFE = 2**62
 #: decline the run (fastpath then executes it).
 KERNELS: Dict[Type, Callable] = {}
 
+#: Registry spec name -> the program class its hot network runs; the
+#: spec-name half of :func:`kernel_coverage`.  Coverage through this
+#: table may be partial per run: ``improved-d2color``/``basic-d2color``
+#: kernelize their random-trials section (the rest stays generator
+#: work), ``deterministic-d2``/``eps-d2-coloring`` kernelize their
+#: locally-iterative try-phase stage, and Step-0 deterministic
+#: fallbacks of the randomized specs run other program classes
+#: entirely.
+SPEC_PROGRAMS: Dict[str, Type] = {}
 
-def register_kernel(program_cls: Type):
+
+def register_kernel(program_cls: Type, *, specs: tuple = ()):
     def deco(fn):
         KERNELS[program_cls] = fn
+        for spec_name in specs:
+            SPEC_PROGRAMS[spec_name] = program_cls
         return fn
 
     return deco
 
 
 def kernel_coverage() -> Dict[str, str]:
-    """``{program class name: kernel name}`` — the coverage table."""
-    return {cls.__name__: fn.__name__ for cls, fn in KERNELS.items()}
+    """The coverage table, keyed both ways.
+
+    ``{program class name: kernel name}`` for every registered kernel,
+    plus ``{registry spec name: kernel name}`` for every spec whose
+    hot network run is kernel-covered (see :data:`SPEC_PROGRAMS` for
+    the partial-coverage caveats).  Specs absent from the table always
+    execute via fastpath.
+    """
+    table = {cls.__name__: fn.__name__ for cls, fn in KERNELS.items()}
+    for spec_name, cls in SPEC_PROGRAMS.items():
+        fn = KERNELS.get(cls)
+        if fn is not None:
+            table[spec_name] = fn.__name__
+    return table
 
 
 class VectorizedBackend(ExecutionBackend):
@@ -89,27 +137,29 @@ class VectorizedBackend(ExecutionBackend):
         raise_on_timeout: bool = True,
         record_rounds: bool = False,
     ):
-        if (
-            np is not None
-            and not record_rounds
-            and not network._started
-            and len(network._generators) == len(network.programs)
-        ):
-            classes = {
-                type(program)
-                for program in network.programs.values()
-            }
-            if len(classes) == 1:
-                kernel = KERNELS.get(classes.pop())
-                if kernel is not None:
-                    result = kernel(
-                        network,
-                        max_rounds=max_rounds,
-                        stop_when=stop_when,
-                        raise_on_timeout=raise_on_timeout,
-                    )
-                    if result is not None:
-                        return result
+        if np is not None and not record_rounds and not network._started:
+            kernel = None
+            if network.materialized:
+                if len(network._generators) == len(network.programs):
+                    classes = {
+                        type(program)
+                        for program in network.programs.values()
+                    }
+                    if len(classes) == 1:
+                        kernel = KERNELS.get(classes.pop())
+            elif isinstance(network.program_factory, type):
+                # Unmaterialized + class factory: dispatch without
+                # building a single Python node.
+                kernel = KERNELS.get(network.program_factory)
+            if kernel is not None:
+                result = kernel(
+                    network,
+                    max_rounds=max_rounds,
+                    stop_when=stop_when,
+                    raise_on_timeout=raise_on_timeout,
+                )
+                if result is not None:
+                    return result
         from repro.exec import get_backend
 
         return get_backend("fastpath").execute(
@@ -123,7 +173,7 @@ class VectorizedBackend(ExecutionBackend):
 
 def _finish(network, rounds, total_messages, total_bits,
             max_message_bits, executed, stopped_early, timed_out,
-            max_rounds, raise_on_timeout):
+            max_rounds, raise_on_timeout, halted=False):
     """Shared tail: mirror reference's started flag, timeout raise,
     and result assembly."""
     from repro.congest.network import RunResult
@@ -132,7 +182,7 @@ def _finish(network, rounds, total_messages, total_bits,
         network._started = True
     if timed_out and raise_on_timeout:
         raise NonterminationError(
-            max_rounds, set(network.programs)
+            max_rounds, set(network.graph.nodes)
         )
     metrics = RunMetrics(
         rounds=rounds,
@@ -146,137 +196,149 @@ def _finish(network, rounds, total_messages, total_bits,
     return RunResult(
         outputs=dict(network.outputs),
         metrics=metrics,
-        halted=False,
+        halted=halted,
         stopped_early=stopped_early,
-        programs=network.programs,
+        programs=network.result_programs(),
     )
 
 
 # ----------------------------------------------------------------------
-# trial / trial-slack: the 3-round try-phase pipeline
+# the generalized try-phase engine
+#
+# One phase of core.trying as three array steps (round A try, round B
+# verdicts, round C adopt), shared by every kernel built on the
+# primitive.  The verdict logic collapses exactly: a live trier ``u``
+# with candidate ``c`` adopts iff no G-neighbor *has* color ``c``
+# (true colors — a server's own color is free information), no
+# d2-neighbor has *announced* ``c`` during this run (only announced
+# colors reach distance 2; precolored nodes never announce), and no
+# other d2-neighbor tried ``c`` this same phase.  Colors and
+# announcements only change at round C, so every verdict server's
+# round-B knowledge equals the round-A array state.
 
 
-@register_kernel(TrialProgram)
-def _trial_kernel(network, *, max_rounds, stop_when, raise_on_timeout):
-    """Vectorized :class:`TrialProgram` (the whole try/verdict/adopt
-    exchange of ``core.trying`` as three array steps per phase).
+class _TryState:
+    """Mutable array state of a try-phase window."""
 
-    The verdict logic collapses exactly: a live trier ``u`` with
-    candidate ``c`` adopts iff no G-neighbor *has* color ``c`` (true
-    colors — a server's own color is free information), no d2-neighbor
-    has *announced* ``c`` during this run (only announced colors reach
-    distance 2; precolored nodes never announce), and no other live
-    d2-neighbor drew ``c`` this same phase.
-    """
-    if stop_when is not None and stop_when is not all_colored:
-        return None
-    csr = arrays.csr_for_graph(network.graph)
-    if csr.has_selfloops:
-        return None
-    n = csr.n
-    order = csr.order
-    programs = network.programs
+    __slots__ = ("colors", "announced", "adopt_iter", "cand")
 
-    palettes = np.empty(n, dtype=np.int64)
-    colors = np.full(n, -1, dtype=np.int64)
-    rngs = []
-    for i, node in enumerate(order):
-        program = programs[node]
-        if program.avoid_known or program.nbr_colors:
-            return None
-        palette = program.palette
-        if (
-            not isinstance(palette, int)
-            or palette <= 0
-            or palette >= _INT64_SAFE
-        ):
-            return None
-        palettes[i] = palette
-        color = program.color
-        if color is not None:
-            if not isinstance(color, int) or abs(color) >= _INT64_SAFE:
-                return None
-            colors[i] = color
-        rngs.append(program.ctx.rng)
-    if (colors >= 0).sum() != sum(
-        1 for v in order if programs[v].color is not None
-    ):
-        return None  # a negative precolor breaks the -1 sentinel
+    def __init__(self, n, colors=None):
+        self.colors = (
+            colors
+            if colors is not None
+            else np.full(n, -1, dtype=np.int64)
+        )
+        self.announced = np.zeros(n, dtype=bool)
+        self.adopt_iter = np.full(n, -1, dtype=np.int64)
+        self.cand = np.full(n, -1, dtype=np.int64)
 
-    mode = network.policy.mode
-    metered = mode is not BandwidthMode.UNBOUNDED
-    budget = network._budget
-    try_base = bit_size((TAG_TRY, 0)) - 1
-    adopt_base = bit_size((TAG_ADOPT, 0)) - 1
-    verdict_bits = bit_size((TAG_VERDICT, True))
-    if metered:
-        worst = int(palettes.max()) - 1
-        if (
+
+class _Meter:
+    """Metering accumulators + precomputed payload base sizes."""
+
+    __slots__ = ("metered", "try_base", "adopt_base", "verdict_bits",
+                 "total_messages", "total_bits", "max_message_bits")
+
+    def __init__(self, metered):
+        self.metered = metered
+        self.try_base = bit_size((TAG_TRY, 0)) - 1
+        self.adopt_base = bit_size((TAG_ADOPT, 0)) - 1
+        self.verdict_bits = bit_size((TAG_VERDICT, True))
+        self.total_messages = 0
+        self.total_bits = 0
+        self.max_message_bits = 0
+
+    def fits(self, worst_value, budget) -> bool:
+        """Whether the worst-case try/verdict/adopt payload stays in
+        budget (else the run must replay via fastpath so STRICT
+        violations raise at the exact reference round)."""
+        if not self.metered:
+            return True
+        worst = int_bits(int(worst_value))
+        return (
             max(
-                try_base + int_bits(worst),
-                adopt_base + int_bits(worst),
-                verdict_bits,
+                self.try_base + worst,
+                self.adopt_base + worst,
+                self.verdict_bits,
             )
-            > budget
-        ):
-            return None  # could violate: replay exactly via fastpath
+            <= budget
+        )
 
+
+def _run_try_phases(
+    csr,
+    st: "_TryState",
+    meter: "_Meter",
+    draw,
+    *,
+    start_round: int,
+    end_round: Optional[int],
+    max_rounds: int,
+    check_stop: bool,
+    idle_forever: bool = False,
+):
+    """Drive rounds ``[start_round, end_round)`` of 3-round try phases.
+
+    ``draw(phase, live_idx)`` returns the int64 candidates of the live
+    nodes (aligned with ``live_idx``), consuming exactly the RNG draws
+    the generators would.  Returns ``(r, rounds, status)`` with
+    ``status`` in ``{"stopped", "timeout", "done"}`` — checked in the
+    same order as the round loop (stop monitor, then ``max_rounds``,
+    then the window bound).
+    """
+    colors = st.colors
+    announced = st.announced
+    adopt_iter = st.adopt_iter
+    cand = st.cand
     g_indptr, g_indices = csr.g_indptr, csr.g_indices
     g2_indptr, g2_indices = csr.g2_indptr, csr.g2_indices
     deg = csr.degrees
     d2_deg = csr.d2_degrees
+    metered = meter.metered
+    try_base = meter.try_base
+    adopt_base = meter.adopt_base
+    verdict_bits = meter.verdict_bits
 
-    announced = np.zeros(n, dtype=bool)
-    adopt_iter = np.full(n, -1, dtype=np.int64)
-    phases_tried = np.zeros(n, dtype=np.int64)
-    cand = np.full(n, -1, dtype=np.int64)
     adopt_idx = np.empty(0, dtype=np.int64)
-
-    total_messages = 0
-    total_bits = 0
-    max_message_bits = 0
-    rounds = 0
     pending_verdicts = 0
-    stopped_early = False
-    timed_out = False
-    check_stop = stop_when is not None
-
-    r = 0
+    rounds = 0
+    r = start_round
     while True:
         if check_stop and not (colors < 0).any():
-            stopped_early = True
+            break_status = "stopped"
             break
         if r >= max_rounds:
-            timed_out = True
+            break_status = "timeout"
             break
-        k = r % 3
+        if end_round is not None and r >= end_round:
+            break_status = "done"
+            break
+        k = (r - start_round) % 3
         if k == 0:
             live_idx = np.flatnonzero(colors < 0)
-            if live_idx.size == 0 and not check_stop:
+            if live_idx.size == 0 and not check_stop and idle_forever:
                 # Everyone colored, no stop monitor: every remaining
                 # iteration is message-free local computation with the
                 # network still running, so it still counts a round.
                 rounds += max_rounds - r
                 r = max_rounds
-                timed_out = True
+                break_status = "timeout"
                 break
             cand.fill(-1)
             if live_idx.size:
-                cand[live_idx] = [
-                    rngs[i].randrange(int(palettes[i]))
-                    for i in live_idx.tolist()
-                ]
-                phases_tried[live_idx] += 1
+                cand[live_idx] = draw(
+                    (r - start_round) // 3, live_idx
+                )
             send_deg = deg[live_idx]
             msgs = int(send_deg.sum())
             pending_verdicts = msgs
-            total_messages += msgs
+            meter.total_messages += msgs
             if metered and msgs:
                 pb = try_base + arrays.int_bits_array(cand[live_idx])
-                total_bits += int((send_deg * pb).sum())
+                meter.total_bits += int((send_deg * pb).sum())
                 biggest = int(pb[send_deg > 0].max())
-                if biggest > max_message_bits:
-                    max_message_bits = biggest
+                if biggest > meter.max_message_bits:
+                    meter.max_message_bits = biggest
             # The phase's adoption outcome, decided on the state every
             # verdict server will hold in round B (colors/announced
             # only change at k == 2, never between here and there).
@@ -297,50 +359,553 @@ def _trial_kernel(network, *, max_rounds, stop_when, raise_on_timeout):
                 (cand >= 0) & ~(conflict_g | conflict_2)
             )
         elif k == 1:
-            total_messages += pending_verdicts
+            meter.total_messages += pending_verdicts
             if metered and pending_verdicts:
-                total_bits += pending_verdicts * verdict_bits
-                if verdict_bits > max_message_bits:
-                    max_message_bits = verdict_bits
+                meter.total_bits += pending_verdicts * verdict_bits
+                if verdict_bits > meter.max_message_bits:
+                    meter.max_message_bits = verdict_bits
         else:
             send_deg = deg[adopt_idx]
             msgs = int(send_deg.sum())
-            total_messages += msgs
+            meter.total_messages += msgs
             if metered and msgs:
                 pb = adopt_base + arrays.int_bits_array(
                     cand[adopt_idx]
                 )
-                total_bits += int((send_deg * pb).sum())
+                meter.total_bits += int((send_deg * pb).sum())
                 biggest = int(pb[send_deg > 0].max())
-                if biggest > max_message_bits:
-                    max_message_bits = biggest
+                if biggest > meter.max_message_bits:
+                    meter.max_message_bits = biggest
             colors[adopt_idx] = cand[adopt_idx]
             announced[adopt_idx] = True
             adopt_iter[adopt_idx] = r
         rounds += 1
         r += 1
+    return r, rounds, break_status
 
-    # ------------------------------------------------------------------
-    # write observable program state back (color, phases_tried, and
-    # the 1-hop color tables the generators would have accumulated).
-    # An adopt sent at iteration t was recorded by neighbors at
-    # iteration t + 1, which executed iff t + 1 <= r - 1.
-    recorded = (adopt_iter >= 0) & (adopt_iter < r - 1)
+
+def _nbr_colors_writeback(csr, order, colors, adopt_iter, resumes):
+    """Closure building each node's 1-hop color table: an adopt sent
+    at iteration t was recorded by neighbors at iteration t + 1, which
+    executed iff t + 1 <= ``resumes``."""
+    g_indptr, g_indices = csr.g_indptr, csr.g_indices
+    recorded = (adopt_iter >= 0) & (adopt_iter + 1 <= resumes)
+
+    def tables(i):
+        row = g_indices[g_indptr[i]:g_indptr[i + 1]]
+        return {
+            order[j]: int(colors[j])
+            for j in row[recorded[row]].tolist()
+        }
+
+    return tables
+
+
+def _color_table(order, colors):
+    def build():
+        return {
+            node: (int(c) if c >= 0 else None)
+            for node, c in zip(order, colors.tolist())
+        }
+
+    return build
+
+
+def _int_table(order, values):
+    def build():
+        return dict(zip(order, (int(v) for v in values.tolist())))
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# trial / trial-slack: the whole run is uniform random try phases
+
+
+@register_kernel(TrialProgram, specs=("trial", "trial-slack"))
+def _trial_kernel(network, *, max_rounds, stop_when, raise_on_timeout):
+    """Vectorized :class:`TrialProgram` — runs off the
+    :class:`NetworkPlan`; no Python nodes unless already built."""
+    if stop_when is not None and stop_when is not all_colored:
+        return None
+    plan = network.plan()
+    csr = plan.csr
+    if csr.has_selfloops:
+        return None
+    n = csr.n
+    order = csr.order
+
+    palettes = np.empty(n, dtype=np.int64)
+    colors = np.full(n, -1, dtype=np.int64)
+    if network.materialized:
+        programs = network.programs
+        for i, node in enumerate(order):
+            program = programs[node]
+            if program.avoid_known or program.nbr_colors:
+                return None
+            palette = program.palette
+            if (
+                not isinstance(palette, int)
+                or palette <= 0
+                or palette >= _INT64_SAFE
+            ):
+                return None
+            palettes[i] = palette
+            color = program.color
+            if color is not None:
+                if (
+                    not isinstance(color, int)
+                    or color < 0
+                    or color >= _INT64_SAFE
+                ):
+                    return None  # negative breaks the -1 sentinel
+                colors[i] = color
+        rngs = [programs[v].ctx.rng for v in order]
+    else:
+        for i, node in enumerate(order):
+            data = plan.input_for(node)
+            if data.get("avoid_known", False):
+                return None
+            palette = data.get("palette")
+            if (
+                not isinstance(palette, int)
+                or palette <= 0
+                or palette >= _INT64_SAFE
+            ):
+                return None  # incl. missing key: constructor decides
+            palettes[i] = palette
+            color = data.get("color")
+            if color is not None:
+                if (
+                    not isinstance(color, int)
+                    or color < 0
+                    or color >= _INT64_SAFE
+                ):
+                    return None
+                colors[i] = color
+        rngs = plan.rngs()
+
+    metered = network.policy.mode is not BandwidthMode.UNBOUNDED
+    meter = _Meter(metered)
+    if not meter.fits(int(palettes.max()) - 1, network._budget):
+        return None  # could violate: replay exactly via fastpath
+
+    phases_tried = np.zeros(n, dtype=np.int64)
+
+    def draw(_phase, live_idx):
+        phases_tried[live_idx] += 1
+        return [
+            rngs[i].randrange(int(palettes[i]))
+            for i in live_idx.tolist()
+        ]
+
+    st = _TryState(n, colors)
+    r, rounds, status = _run_try_phases(
+        csr, st, meter, draw,
+        start_round=0, end_round=None, max_rounds=max_rounds,
+        check_stop=stop_when is not None, idle_forever=True,
+    )
+
+    nbr_tables = _nbr_colors_writeback(
+        csr, order, colors, st.adopt_iter, r - 1
+    )
+
+    def writeback(programs):
+        for i, node in enumerate(order):
+            program = programs[node]
+            c = int(colors[i])
+            program.color = c if c >= 0 else None
+            program.phases_tried = int(phases_tried[i])
+            program.nbr_colors = nbr_tables(i)
+
+    if network.materialized:
+        writeback(network._programs)
+    else:
+        network._deferred_state.append(writeback)
+        network._vector_tables["color"] = _color_table(order, colors)
+        network._vector_tables["phases_tried"] = _int_table(
+            order, phases_tried
+        )
+    return _finish(
+        network, rounds, meter.total_messages, meter.total_bits,
+        meter.max_message_bits, r, status == "stopped",
+        status == "timeout", max_rounds, raise_on_timeout,
+    )
+
+
+# ----------------------------------------------------------------------
+# locally-iterative d2-coloring (deterministic-d2 / eps-d2-coloring):
+# q bounded phases trying (offset +) a + b·phase mod q, then halt
+
+
+def _poly_phase_kernel(
+    network, *, max_rounds, stop_when, raise_on_timeout, with_parts,
+):
+    """Shared kernel for :class:`LocallyIterativeProgram`
+    (``with_parts=False``) and :class:`PartLocallyIterativeD2`
+    (``with_parts=True``): draw-free try phases with candidates
+    ``offset + (a + b·phase) mod q``, halting after q phases."""
+    if stop_when is not None and stop_when is not all_colored:
+        return None
+    plan = network.plan()
+    csr = plan.csr
+    if csr.has_selfloops:
+        return None
+    n = csr.n
+    order = csr.order
+
+    a = np.empty(n, dtype=np.int64)
+    b = np.empty(n, dtype=np.int64)
+    offset = np.zeros(n, dtype=np.int64)
+    qs = set()
+    if network.materialized:
+        programs = network.programs
+        for i, node in enumerate(order):
+            program = programs[node]
+            if (
+                program.color is not None
+                or program.nbr_colors
+                or program.blocked_phases
+            ):
+                return None  # preseeded state: not a fresh run
+            q = program.q
+            if not isinstance(q, int) or q <= 0 or q * q >= _INT64_SAFE:
+                return None
+            qs.add(q)
+            if not (0 <= program.poly.a < q and 0 <= program.poly.b < q):
+                return None  # hand-built Poly1 outside F_q
+            a[i] = program.poly.a
+            b[i] = program.poly.b
+            if with_parts:
+                off = program.offset
+                if not isinstance(off, int) or not 0 <= off < _INT64_SAFE:
+                    return None
+                offset[i] = off
+    else:
+        for i, node in enumerate(order):
+            data = plan.input_for(node)
+            q = data.get("q")
+            color_in = data.get("color_in")
+            if (
+                not isinstance(q, int)
+                or q <= 0
+                or q * q >= _INT64_SAFE
+                or not isinstance(color_in, int)
+                or not 0 <= color_in < q * q
+            ):
+                return None  # constructor raises on the real run
+            qs.add(q)
+            a[i] = color_in // q
+            b[i] = color_in % q
+            if with_parts:
+                part = data.get("part")
+                if (
+                    not isinstance(part, int)
+                    or part < 0
+                    or part * q >= _INT64_SAFE
+                ):
+                    return None
+                offset[i] = part * q
+    if len(qs) != 1:
+        return None  # mixed q: phase schedules diverge per node
+    q = qs.pop()
+    worst_candidate = int(offset.max()) + q - 1
+    if worst_candidate >= _INT64_SAFE:
+        return None
+
+    metered = network.policy.mode is not BandwidthMode.UNBOUNDED
+    meter = _Meter(metered)
+    if not meter.fits(worst_candidate, network._budget):
+        return None
+
+    def draw(phase, live_idx):
+        return (
+            (a[live_idx] + b[live_idx] * phase) % q + offset[live_idx]
+        )
+
+    st = _TryState(n)
+    colors, adopt_iter = st.colors, st.adopt_iter
+    end_round = 3 * q
+    r, rounds, status = _run_try_phases(
+        csr, st, meter, draw,
+        start_round=0, end_round=end_round, max_rounds=max_rounds,
+        check_stop=stop_when is not None,
+    )
+
+    halted = status == "done"
+    # Generator resumes executed: rounds 0..r-1 for an aborted window,
+    # plus the final halting resume (which consumes the last adopt
+    # inbox and runs the phase-(q-1) bookkeeping) on a completed one.
+    resumes = end_round if halted else r - 1
+    if halted:
+        network.outputs.update(
+            (node, int(c) if c >= 0 else None)
+            for node, c in zip(order, colors.tolist())
+        )
+
+    # blocked_phases / succeeded_phase bookkeeping of phase t runs at
+    # resume 3t+3; a node tries every phase while live, so with
+    # adoption phase A (= adopt_iter // 3, else inf) the blocked count
+    # is |{t : t < A, 3t+3 <= resumes, t < q}|.
+    t_booked = (resumes - 3) // 3  # last phase with bookkeeping done
+    adopted = adopt_iter >= 0
+    adopt_phase = np.where(adopted, adopt_iter // 3, np.int64(q))
+    blocked = np.maximum(
+        0,
+        np.minimum(
+            np.minimum(adopt_phase - 1, t_booked), q - 1
+        ) + 1,
+    )
+    success_known = adopted & (3 * adopt_phase + 3 <= resumes)
+
+    nbr_tables = _nbr_colors_writeback(
+        csr, order, colors, adopt_iter, resumes
+    )
+
+    def writeback(programs):
+        for i, node in enumerate(order):
+            program = programs[node]
+            c = int(colors[i])
+            program.color = c if c >= 0 else None
+            program.blocked_phases = int(blocked[i])
+            program.nbr_colors = nbr_tables(i)
+            if not with_parts:
+                program.succeeded_phase = (
+                    int(adopt_phase[i]) if success_known[i] else None
+                )
+
+    if network.materialized:
+        writeback(network._programs)
+    else:
+        network._deferred_state.append(writeback)
+        network._vector_tables["color"] = _color_table(order, colors)
+        network._vector_tables["blocked_phases"] = _int_table(
+            order, blocked
+        )
+    return _finish(
+        network, rounds, meter.total_messages, meter.total_bits,
+        meter.max_message_bits, r, status == "stopped",
+        status == "timeout", max_rounds, raise_on_timeout,
+        halted=halted,
+    )
+
+
+@register_kernel(LocallyIterativeProgram, specs=("deterministic-d2",))
+def _locally_iterative_kernel(
+    network, *, max_rounds, stop_when, raise_on_timeout
+):
+    """Vectorized :class:`LocallyIterativeProgram` (Theorem B.4)."""
+    return _poly_phase_kernel(
+        network, max_rounds=max_rounds, stop_when=stop_when,
+        raise_on_timeout=raise_on_timeout, with_parts=False,
+    )
+
+
+@register_kernel(PartLocallyIterativeD2, specs=("eps-d2-coloring",))
+def _part_locally_iterative_kernel(
+    network, *, max_rounds, stop_when, raise_on_timeout
+):
+    """Vectorized :class:`PartLocallyIterativeD2` (Lemma 3.5 stage 2:
+    part-offset palettes, identical phase schedule)."""
+    return _poly_phase_kernel(
+        network, max_rounds=max_rounds, stop_when=stop_when,
+        raise_on_timeout=raise_on_timeout, with_parts=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# randomized d2-color (improved + basic): hybrid — the c0·log n
+# random-trials section runs as arrays, everything else as generators
+
+
+@register_kernel(
+    RandomizedD2Program, specs=("improved-d2color", "basic-d2color")
+)
+def _randomized_d2_kernel(
+    network, *, max_rounds, stop_when, raise_on_timeout
+):
+    """Hybrid :class:`RandomizedD2Program` executor.
+
+    ``improved``: the trials section is a prefix — rounds ``[0, 3T)``
+    run as arrays, then the generators start (their first resume
+    happens at round 3T, exactly where the reference run's generators
+    leave the trials loop).  ``basic``: similarity runs first — its
+    round count is a node-independent constant of the
+    :class:`SimilarityConfig` — so the :class:`GeneratorLoop` pauses
+    at that boundary, the trials window runs as arrays, and the loop
+    resumes with the held similarity inboxes.  In both variants the
+    deferred boundary resume replays the skipped section's observable
+    effects through ``RandomizedD2Program._kernel_prefix`` (phase-log
+    entry + final-round adopt records), keeping program state
+    bit-identical to reference.
+
+    One documented deviation: when the run stops or times out *inside*
+    the trials window of the ``basic`` variant, the deferred similarity
+    tail never executes, so ``program.similarity`` stays ``None`` (the
+    phase log is patched and colors/metrics/rounds still match
+    reference exactly).
+    """
+    if stop_when is not None and stop_when is not all_colored:
+        return None
+    plan = network.plan()
+    csr = plan.csr
+    if csr.has_selfloops:
+        return None
+    n = csr.n
+    order = csr.order
+
+    configs = set()
+    if network.materialized:
+        for program in network.programs.values():
+            if (
+                program.color is not None
+                or program.nbr_colors
+                or program.phase_log
+            ):
+                return None  # not a fresh run
+            configs.add(
+                (
+                    program.palette,
+                    program.variant,
+                    program.initial_trials,
+                    program.sim_config,
+                )
+            )
+    else:
+        for node in order:
+            data = plan.input_for(node)
+            configs.add(
+                (
+                    data.get("palette"),
+                    data.get("variant"),
+                    data.get("initial_trials"),
+                    data.get("sim_config"),
+                )
+            )
+    if len(configs) != 1:
+        return None
+    palette, variant, trials, sim_config = configs.pop()
+    if variant not in ("improved", "basic") or sim_config is None:
+        return None
+    if (
+        not isinstance(palette, int)
+        or palette <= 0
+        or palette >= _INT64_SAFE
+    ):
+        return None
+    if not isinstance(trials, int) or trials <= 0:
+        return None
+
+    metered = network.policy.mode is not BandwidthMode.UNBOUNDED
+    meter = _Meter(metered)
+    if not meter.fits(palette - 1, network._budget):
+        return None
+
+    # Identical at every node by construction (see SimilarityMixin).
+    if variant == "basic":
+        prologue = (
+            sim_config.forward_rounds
+            + sim_config.own_rounds
+            + (0 if sim_config.exact else 1)
+        )
+    else:
+        prologue = 0
+    window_end = prologue + 3 * trials
+
+    loop = GeneratorLoop(network)  # materializes the nodes
+    programs = network.programs
+    if prologue:
+        status = loop.run_until(
+            prologue,
+            max_rounds=max_rounds,
+            stop_when=stop_when,
+            raise_on_timeout=raise_on_timeout,
+        )
+        if status is not PAUSED:
+            return loop.result()  # ended inside similarity
+
+    # --- the trials window, as arrays -----------------------------
+    # Programs adopt no colors before their trials section, so the
+    # window starts from a blank color state; draws continue on the
+    # very same per-node streams the prologue advanced.
+    rngs = [programs[v].ctx.rng for v in order]
+
+    def draw(_phase, live_idx):
+        return [
+            rngs[i].randrange(palette) for i in live_idx.tolist()
+        ]
+
+    meter.total_messages = loop.total_messages
+    meter.total_bits = loop.total_bits
+    meter.max_message_bits = loop.max_message_bits
+    st = _TryState(n)
+    colors, adopt_iter = st.colors, st.adopt_iter
+    r, rounds, status = _run_try_phases(
+        csr, st, meter, draw,
+        start_round=prologue, end_round=window_end,
+        max_rounds=max_rounds, check_stop=stop_when is not None,
+    )
+    loop.total_messages = meter.total_messages
+    loop.total_bits = meter.total_bits
+    loop.max_message_bits = meter.max_message_bits
+    loop.rounds += rounds
+    loop.round_index = r
+    if r > 0:
+        network._started = True
+
+    # Write the window's observable state back: resumes 0..r-1 have
+    # happened, so adopts from the final executed round are not yet in
+    # any neighbor table — on a completed window they ride the
+    # deferred boundary resume via _kernel_prefix instead.
+    nbr_tables = _nbr_colors_writeback(
+        csr, order, colors, adopt_iter, r - 1
+    )
+    last = adopt_iter == r - 1
     for i, node in enumerate(order):
         program = programs[node]
         c = int(colors[i])
         program.color = c if c >= 0 else None
-        program.phases_tried = int(phases_tried[i])
+        program.nbr_colors = nbr_tables(i)
+
+    if status != "done":
+        # Stopped or timed out mid-window.  Reference programs logged
+        # the similarity phase at the boundary resume (round
+        # ``prologue``) — patch it in iff that round actually ran; the
+        # trials entry is only logged once the section completes.
+        if variant == "basic" and r > prologue:
+            for program in programs.values():
+                program.phase_log.append(("similarity", prologue))
+        loop.stopped_early = status == "stopped"
+        if status == "timeout" and raise_on_timeout:
+            raise NonterminationError(max_rounds, set(loop.running))
+        return loop.result()
+
+    # --- hand back to the generators ------------------------------
+    g_indptr, g_indices = csr.g_indptr, csr.g_indices
+    for i, node in enumerate(order):
         row = g_indices[g_indptr[i]:g_indptr[i + 1]]
-        program.nbr_colors = {
+        adopts = {
             order[j]: int(colors[j])
-            for j in row[recorded[row]].tolist()
+            for j in row[last[row]].tolist()
         }
-    return _finish(
-        network, rounds, total_messages, total_bits,
-        max_message_bits, r, stopped_early, timed_out,
-        max_rounds, raise_on_timeout,
+        programs[node]._kernel_prefix = (3 * trials, adopts)
+    loop.run_until(
+        None,
+        max_rounds=max_rounds,
+        stop_when=stop_when,
+        raise_on_timeout=raise_on_timeout,
     )
+    sample = next(iter(programs.values()))
+    if sample._kernel_prefix is not None:
+        # The run ended right at the window boundary, before the
+        # deferred resume consumed the prefix.  Reference programs at
+        # that point logged the similarity phase (basic) but not the
+        # trials entry; clear the dangling hook and match.
+        for program in programs.values():
+            program._kernel_prefix = None
+            if variant == "basic":
+                program.phase_log.append(("similarity", prologue))
+    return loop.result()
 
 
 # ----------------------------------------------------------------------
@@ -362,21 +927,30 @@ def _luby_kernel(network, *, max_rounds, stop_when, raise_on_timeout):
     """
     if stop_when is not None and stop_when is not _all_decided:
         return None
-    csr = arrays.csr_for_graph(network.graph)
+    plan = network.plan()
+    csr = plan.csr
     if csr.has_selfloops:
         return None
     n = csr.n
     order = csr.order
-    programs = network.programs
 
-    ks = {programs[v].k for v in order}
+    ks = set()
+    if network.materialized:
+        programs = network.programs
+        for v in order:
+            ks.add(programs[v].k)
+        if any(programs[v].state != _STATE_LIVE for v in order):
+            return None  # resumed/preseeded state: not a fresh run
+        rngs = [programs[v].ctx.rng for v in order]
+    else:
+        for v in order:
+            ks.add(plan.input_for(v).get("k"))
+        rngs = plan.rngs()
     if len(ks) != 1:
         return None
     k = ks.pop()
     if not isinstance(k, int) or k < 1:
         return None
-    if any(programs[v].state != _STATE_LIVE for v in order):
-        return None  # resumed/preseeded state: not a fresh run
     max_label = max(abs(order[0]), abs(order[-1]))
     if (n**3 - 1) * n + max_label >= _INT64_SAFE:
         return None  # rank arithmetic could leave int64
@@ -392,7 +966,6 @@ def _luby_kernel(network, *, max_rounds, stop_when, raise_on_timeout):
             return None
 
     g_indptr, g_indices = csr.g_indptr, csr.g_indices
-    rngs = [programs[v].ctx.rng for v in order]
     labels = np.array(order, dtype=np.int64)
 
     LIVE, IN_MIS, DOM = 0, 1, 2
@@ -501,10 +1074,24 @@ def _luby_kernel(network, *, max_rounds, stop_when, raise_on_timeout):
 
     names = {LIVE: _STATE_LIVE, IN_MIS: _STATE_IN_MIS,
              DOM: _STATE_DOMINATED}
-    for i, node in enumerate(order):
-        program = programs[node]
-        program.state = names[int(state[i])]
-        program.phases = phases
+
+    def writeback(programs):
+        for i, node in enumerate(order):
+            program = programs[node]
+            program.state = names[int(state[i])]
+            program.phases = phases
+
+    if network.materialized:
+        writeback(network._programs)
+    else:
+        network._deferred_state.append(writeback)
+        network._vector_tables["state"] = lambda: {
+            node: names[int(s)]
+            for node, s in zip(order, state.tolist())
+        }
+        network._vector_tables["phases"] = lambda: {
+            node: phases for node in order
+        }
     return _finish(
         network, rounds, total_messages, total_bits,
         max_message_bits, r, stopped_early, timed_out,

@@ -292,6 +292,22 @@ _w(
     description="Huge sparse G(n,p), n=2^16 — pushes toward the "
     "related-work n≈10⁵ regime (opt-in)",
 )
+_w(
+    "gnp-huge-262144", "gnp",
+    lambda seed, n, p: gnp_fast(n, p, seed=seed),
+    {"n": 262144, "p": 2.0 / 262144},
+    "huge", "random", "sparse", n_bound=262144,
+    description="Huge sparse G(n,p), n=2^18 — kernel-only territory: "
+    "plan-driven runs never build Python nodes (opt-in)",
+)
+_w(
+    "gnp-huge-1048576", "gnp",
+    lambda seed, n, p: gnp_fast(n, p, seed=seed),
+    {"n": 1048576, "p": 2.0 / 1048576},
+    "huge", "random", "sparse", n_bound=1048576,
+    description="Huge sparse G(n,p), n=2^20 — the 10⁶-node scaling "
+    "target; only sweepable through the vectorized kernels (opt-in)",
+)
 
 # -- named extremal instances (ex graphs.instances.named_instance) ------
 

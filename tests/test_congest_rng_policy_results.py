@@ -1,11 +1,26 @@
 """Tests for RNG derivation, bandwidth policy, and result types."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.congest.metrics import RunMetrics
 from repro.congest.policy import BandwidthMode, BandwidthPolicy
-from repro.congest.rng import derive_int, derive_rng
+from repro.congest.rng import (
+    derive_int,
+    derive_ints,
+    derive_rng,
+    derive_uniforms,
+)
 from repro.results import ColoringResult
+
+# Label values of every shape the simulator actually derives streams
+# from: ints, strings, and tuples thereof.
+_labels = st.one_of(
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.text(max_size=12),
+    st.tuples(st.integers(min_value=-100, max_value=100), st.text(max_size=4)),
+)
 
 
 class TestRng:
@@ -29,6 +44,43 @@ class TestRng:
         a = derive_rng(7, "x").random()
         b = derive_rng(7, "x").random()
         assert a == b
+
+
+class TestBulkRng:
+    """The bulk derivations must be bit-identical to the scalar ones —
+    the vectorized kernels and ``Network.__init__`` rely on it."""
+
+    @given(seed=_labels, label=_labels, n=st.integers(0, 48))
+    @settings(max_examples=150)
+    def test_derive_ints_matches_scalar_over_count(
+        self, seed, label, n
+    ):
+        assert derive_ints(seed, label, n) == [
+            derive_int(seed, label, item) for item in range(n)
+        ]
+
+    @given(
+        seed=_labels,
+        label=_labels,
+        items=st.lists(_labels, max_size=16),
+    )
+    @settings(max_examples=150)
+    def test_derive_ints_matches_scalar_over_items(
+        self, seed, label, items
+    ):
+        assert derive_ints(seed, label, items) == [
+            derive_int(seed, label, item) for item in items
+        ]
+
+    @given(seed=_labels, label=_labels, n=st.integers(0, 32))
+    @settings(max_examples=50)
+    def test_derive_uniforms_scales_derive_ints(self, seed, label, n):
+        uniforms = derive_uniforms(seed, label, n)
+        ints = derive_ints(seed, label, n)
+        assert len(uniforms) == n
+        for value, raw in zip(uniforms, ints):
+            assert value == raw / 2.0**64
+            assert 0.0 <= value < 1.0
 
 
 class TestPolicy:

@@ -28,8 +28,13 @@ from repro.congest.errors import (
 from repro.congest.message import int_bits
 from repro.congest.network import Network
 from repro.congest.policy import BandwidthPolicy
+from repro.core.d2color import basic_d2_color, improved_d2_color
 from repro.core.trying import all_colored
+from repro.det.g_coloring import prime_between
+from repro.det.locally_iterative import LocallyIterativeProgram
+from repro.det.part_d2coloring import PartLocallyIterativeD2
 from repro.exec import use_backend
+from repro.util.primes import bertrand_prime
 from repro.exec.arrays import (
     build_csr,
     csr_for_graph,
@@ -131,6 +136,21 @@ class TestKernelCoverage:
         coverage = kernel_coverage()
         assert "TrialProgram" in coverage
         assert "LubyDistanceKProgram" in coverage
+
+    def test_registry_spec_names_are_keys(self):
+        # Coverage is queryable by registry spec name too, so tooling
+        # (e.g. the compare_algorithms fallback warning) need not map
+        # spec -> program class itself.
+        coverage = kernel_coverage()
+        for spec_name in (
+            "trial",
+            "trial-slack",
+            "deterministic-d2",
+            "eps-d2-coloring",
+            "improved-d2color",
+            "basic-d2color",
+        ):
+            assert spec_name in coverage, spec_name
 
 
 class TestTrialKernel:
@@ -284,6 +304,203 @@ class TestLubyKernel:
                 graph, k=2, seed=3
             )
         assert check_distance_k_mis(graph, mis, 2)
+
+
+def _li_network(graph, seed, policy=None):
+    delta = max((d for _, d in graph.degree), default=0)
+    q = bertrand_prime(max(delta, 1))
+    inputs = {
+        v: {"q": q, "color_in": i % (q * q)}
+        for i, v in enumerate(sorted(graph.nodes))
+    }
+    return q, Network(
+        graph,
+        LocallyIterativeProgram,
+        seed=seed,
+        policy=policy,
+        delta=delta,
+        inputs=inputs,
+    )
+
+
+def _part_li_network(graph, seed, parts=3, policy=None):
+    delta = max((d for _, d in graph.degree), default=0)
+    d_part = max(1, delta)
+    q = prime_between(4 * d_part, 8 * d_part)
+    inputs = {
+        v: {"q": q, "part": i % parts, "color_in": i % (q * q)}
+        for i, v in enumerate(sorted(graph.nodes))
+    }
+    return q, Network(
+        graph,
+        PartLocallyIterativeD2,
+        seed=seed,
+        policy=policy,
+        delta=delta,
+        inputs=inputs,
+    )
+
+
+def _assert_poly_phase_parity(make_network, with_parts, **run_kwargs):
+    (ref_net, ref), (vec_net, vec) = _run_pair(
+        lambda: make_network()[1], **run_kwargs
+    )
+    assert vec.outputs == ref.outputs
+    assert vec.stopped_early == ref.stopped_early
+    assert _metrics_tuple(vec.metrics) == _metrics_tuple(ref.metrics)
+    for node in ref_net.programs:
+        rp, vp = ref_net.programs[node], vec_net.programs[node]
+        assert vp.color == rp.color, node
+        assert vp.blocked_phases == rp.blocked_phases, node
+        assert vp.nbr_colors == rp.nbr_colors, node
+        if with_parts:
+            assert vp.offset == rp.offset, node
+        else:
+            assert vp.succeeded_phase == rp.succeeded_phase, node
+    assert vec_net._started == ref_net._started
+
+
+class TestPolyPhaseKernels:
+    """The locally-iterative / part-offset kernels behind the
+    deterministic-d2 and eps-d2-coloring try-phase stages."""
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_li_track_parity(self, name, seed):
+        graph = GRAPHS[name]
+        q, _ = _li_network(graph, seed)
+        _assert_poly_phase_parity(
+            lambda: _li_network(
+                graph, seed, policy=BandwidthPolicy.track()
+            ),
+            with_parts=False,
+            max_rounds=3 * q + 3,
+            stop_when=all_colored,
+            raise_on_timeout=False,
+        )
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_part_li_track_parity(self, name, seed):
+        graph = GRAPHS[name]
+        q, _ = _part_li_network(graph, seed)
+        _assert_poly_phase_parity(
+            lambda: _part_li_network(
+                graph, seed, policy=BandwidthPolicy.track()
+            ),
+            with_parts=True,
+            max_rounds=3 * q + 3,
+            stop_when=all_colored,
+            raise_on_timeout=False,
+        )
+
+    @pytest.mark.parametrize(
+        "max_rounds", [0, 1, 2, 3, 4, 5, 6, 7, 11, 200]
+    )
+    def test_li_round_cutoff_parity(self, max_rounds):
+        # Mid-phase cutoffs: the writeback must reconstruct exactly
+        # the blocked/succeeded counters the aborted generators hold.
+        _assert_poly_phase_parity(
+            lambda: _li_network(
+                GRAPHS["petersen"], 5, policy=BandwidthPolicy.track()
+            ),
+            with_parts=False,
+            max_rounds=max_rounds,
+            stop_when=all_colored,
+            raise_on_timeout=False,
+        )
+
+    @pytest.mark.parametrize("max_rounds", [0, 1, 3, 5, 8, 200])
+    def test_part_li_round_cutoff_parity(self, max_rounds):
+        _assert_poly_phase_parity(
+            lambda: _part_li_network(
+                GRAPHS["gnp24"], 3, policy=BandwidthPolicy.track()
+            ),
+            with_parts=True,
+            max_rounds=max_rounds,
+            stop_when=all_colored,
+            raise_on_timeout=False,
+        )
+
+    def test_li_full_schedule_halts(self):
+        # No stop monitor: the program halts itself after 3q rounds;
+        # the kernel must replay the whole schedule plus the halting
+        # resume and leave the network in the halted state.
+        graph = GRAPHS["petersen"]
+        q, _ = _li_network(graph, 1)
+        _assert_poly_phase_parity(
+            lambda: _li_network(
+                graph, 1, policy=BandwidthPolicy.track()
+            ),
+            with_parts=False,
+            max_rounds=3 * q + 3,
+            stop_when=None,
+            raise_on_timeout=False,
+        )
+
+
+class TestRandomizedD2Kernel:
+    """The hybrid kernel for d2-Color / Improved-d2-Color: random
+    trials as array work, similarity/ladder epilogue via the resumed
+    generators."""
+
+    @pytest.mark.parametrize(
+        "color",
+        [improved_d2_color, basic_d2_color],
+        ids=["improved", "basic"],
+    )
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_driver_parity(self, color, seed):
+        graph = GRAPHS["gnp24"]
+
+        def run(backend):
+            with use_backend(backend):
+                return color(
+                    graph,
+                    seed=seed,
+                    allow_deterministic_fallback=False,
+                )
+
+        ref, vec = run("reference"), run("vectorized")
+        assert vec.coloring == ref.coloring
+        assert vec.rounds == ref.rounds
+        assert _metrics_tuple(vec.metrics) == _metrics_tuple(
+            ref.metrics
+        )
+        assert [(p.name, p.rounds) for p in vec.phases] == [
+            (p.name, p.rounds) for p in ref.phases
+        ]
+
+    @pytest.mark.parametrize(
+        "color",
+        [improved_d2_color, basic_d2_color],
+        ids=["improved", "basic"],
+    )
+    @pytest.mark.parametrize("max_rounds", [0, 1, 2, 3, 7, 20, 61])
+    def test_round_cutoff_parity(self, color, max_rounds):
+        # Cutoffs land before, inside, and after the trials window
+        # (the array-executed section); coloring, metrics, and the
+        # phase table must match reference at every boundary.
+        graph = GRAPHS["petersen"]
+
+        def run(backend):
+            with use_backend(backend):
+                return color(
+                    graph,
+                    seed=5,
+                    max_rounds=max_rounds,
+                    allow_deterministic_fallback=False,
+                )
+
+        ref, vec = run("reference"), run("vectorized")
+        assert vec.coloring == ref.coloring
+        assert vec.rounds == ref.rounds
+        assert _metrics_tuple(vec.metrics) == _metrics_tuple(
+            ref.metrics
+        )
+        assert [(p.name, p.rounds) for p in vec.phases] == [
+            (p.name, p.rounds) for p in ref.phases
+        ]
 
 
 class TestFallbacks:
@@ -440,6 +657,47 @@ class TestInstanceCSRArtifact:
         first = instance.csr()
         assert instance.csr() is first
         assert cache.stats.csr_builds == 1
+
+    def test_plan_driven_run_leaves_cache_stats_unchanged(self):
+        # Regression: a NetworkPlan-driven kernel run must hit the
+        # instance cache exactly like a materialized Network run —
+        # in particular it must not trigger extra CSR or square
+        # builds once the instance artifacts are warm.
+        cache = InstanceCache()
+        instance = cache.intern(
+            "plan-stats-probe", 0, tuple(range(12)),
+            tuple((i, (i + 1) % 12) for i in range(12)),
+        )
+        graph = instance.graph()
+        instance.csr()
+        instance.d2_adjacency()
+        base = cache.stats.snapshot()
+
+        def run(backend):
+            net = _trial_network(graph, 4)
+            net.run(
+                backend=backend,
+                max_rounds=5_000,
+                stop_when=all_colored,
+                raise_on_timeout=False,
+            )
+            return net
+
+        vec_net = run("vectorized")
+        after_vec = cache.stats.snapshot()
+        assert not vec_net.materialized  # the plan-driven path ran
+        run("fastpath")
+        after_fast = cache.stats.snapshot()
+
+        vec_delta = {
+            key: after_vec[key] - base[key] for key in base
+        }
+        fast_delta = {
+            key: after_fast[key] - after_vec[key] for key in base
+        }
+        assert vec_delta == fast_delta
+        assert vec_delta["csr_builds"] == 0
+        assert vec_delta["square_builds"] == 0
 
     def test_pickle_ships_csr_and_seeds_graph_registry(self):
         cache = InstanceCache()
