@@ -1,0 +1,125 @@
+"""Huge-tier CSR-first acceptance bench (opt-in, slow).
+
+The million-node sweep used to spend most of its wall clock and
+~4.2 GB of peak RSS building and holding ``nx.Graph`` objects.  With
+CSR-born instances the same single-shard vectorized sweep runs
+entirely on int64 arrays.  This bench pins the win and its safety:
+
+- the CSR-born sweep's *own* peak RSS must stay within 1 GiB
+  (≥5× below the nx-graph figure) — snapshotted **before** the twin
+  run, because ``ru_maxrss`` is a process-wide monotone high-water
+  mark;
+- an nx-built twin of the same instance, pushed through the same
+  cells, must produce a byte-identical sweep fingerprint — the
+  array path changes the cost, never the result;
+- both sides land in the committed ``BENCH_huge_rss.json``
+  trajectory.
+
+Not part of the CI bench smoke subset: run on demand with
+``pytest -m slow benchmarks/bench_huge_csr.py``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+import networkx as nx
+import pytest
+from conftest import peak_rss_mb, write_bench_json
+
+from repro import registry
+from repro.exec import (
+    ShardManifest,
+    compile_manifest,
+    grid_cells,
+    merge_shards,
+    run_shard,
+)
+from repro.exec.arrays import csr_upper_edges
+from repro.workloads import get_workload, instance_cache
+from repro.workloads.cache import Instance
+
+pytestmark = pytest.mark.slow
+
+WORKLOAD = "gnp-huge-1048576"
+RSS_BUDGET_MB = 1024.0
+
+
+def _single_shard_sweep(cells, tmp):
+    manifest = compile_manifest(cells, 1, inner="vectorized")
+    path = manifest.save(tmp)
+    run_shard(ShardManifest.load(path), 0, tmp)
+    return merge_shards(ShardManifest.load(path), tmp)
+
+
+def test_million_node_sweep_rss_and_fingerprint():
+    cache = instance_cache()
+    cache.clear()
+    spec = get_workload(WORKLOAD)
+    cells = grid_cells(
+        specs=[registry.get_algorithm("trial")],
+        scenarios=[spec],
+        seeds=(0,),
+    )
+
+    # --- CSR-born path first (the lean side must snapshot its RSS
+    # before the heavy twin pollutes the high-water mark).
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        csr_sweep = _single_shard_sweep(cells, tmp)
+    csr_wall = time.perf_counter() - t0
+    csr_rss = peak_rss_mb()
+    assert csr_sweep.ok, [c.error for c in csr_sweep.failures]
+    instance = cache.get(WORKLOAD, 0)
+    assert instance._csr_born, "huge-tier instance not CSR-born"
+    assert instance._graph is None, (
+        "the kernel path materialized an nx.Graph"
+    )
+    assert csr_rss <= RSS_BUDGET_MB, (
+        f"CSR sweep peaked at {csr_rss:.0f} MiB "
+        f"(budget {RSS_BUDGET_MB:.0f} MiB)"
+    )
+
+    # --- nx-built twin through the identical cells: the legacy
+    # instance path end to end, same fingerprint required.
+    csr = instance.csr()
+    twin = nx.Graph()
+    twin.add_nodes_from(range(csr.n))
+    us, vs = csr_upper_edges(csr)
+    twin.add_edges_from(zip(us.tolist(), vs.tolist()))
+    twin_instance = Instance.from_graph(
+        spec.name, 0, twin, spec.params, registered=True
+    )
+    assert not twin_instance._csr_born
+    cache.clear()
+    cache.install([twin_instance])
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        twin_sweep = _single_shard_sweep(cells, tmp)
+    twin_wall = time.perf_counter() - t0
+    twin_rss = peak_rss_mb()
+    assert twin_sweep.ok, [c.error for c in twin_sweep.failures]
+    assert twin_sweep.fingerprint() == csr_sweep.fingerprint(), (
+        "CSR-born and nx-built sweeps diverged"
+    )
+
+    write_bench_json(
+        "huge_rss",
+        {
+            "workload": WORKLOAD,
+            "csr_sweep_wall_seconds": round(csr_wall, 3),
+            "csr_peak_rss_mb": round(csr_rss, 1),
+            "nx_twin_sweep_wall_seconds": round(twin_wall, 3),
+            "process_peak_rss_after_twin_mb": round(twin_rss, 1),
+            "fingerprint_identical": True,
+            # The headline metric: the lean side's own high-water
+            # mark (pre-twin snapshot), not the polluted final one.
+            "peak_rss_mb": round(csr_rss, 1),
+        },
+    )
+    print(
+        f"{WORKLOAD}: csr sweep {csr_wall:.1f}s / {csr_rss:.0f} MiB "
+        f"peak; nx twin {twin_wall:.1f}s (process peak after twin "
+        f"{twin_rss:.0f} MiB); fingerprints identical"
+    )

@@ -20,11 +20,32 @@ the newest entry against the previous one in CI.
 from __future__ import annotations
 
 import pathlib
+import sys
 from typing import Any, Dict
 
 from repro.harness.benchstore import append_entry
 
+try:  # POSIX-only; benches degrade to timing-only elsewhere
+    import resource
+except ImportError:  # pragma: no cover - linux container has it
+    resource = None
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def peak_rss_mb() -> float:
+    """Process-wide peak resident set size in MiB (0.0 if unknown).
+
+    ``ru_maxrss`` is a monotone high-water mark for the whole process:
+    benches that compare memory footprints must run the lean variant
+    *first* and snapshot before running the heavy one.
+    """
+    if resource is None:
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    divisor = 1024.0 ** 2 if sys.platform == "darwin" else 1024.0
+    return peak / divisor
 
 
 def write_bench_json(name: str, payload: Dict[str, Any]) -> pathlib.Path:
@@ -34,8 +55,15 @@ def write_bench_json(name: str, payload: Dict[str, Any]) -> pathlib.Path:
     newest ``{commit, timestamp, metrics}`` entry of
     ``benchmarks/results/BENCH_<name>.json`` (re-runs on the same
     commit replace that commit's entry, so local iteration does not
-    grow the file).
+    grow the file).  The process-wide peak RSS at write time is
+    recorded alongside the bench's own metrics under
+    ``peak_rss_mb`` (unless the payload already provides one, e.g. a
+    snapshot taken before a heavier comparison run polluted the
+    high-water mark).
     """
+    if "peak_rss_mb" not in payload:
+        payload = dict(payload)
+        payload["peak_rss_mb"] = round(peak_rss_mb(), 1)
     return append_entry(RESULTS_DIR, name, payload)
 
 

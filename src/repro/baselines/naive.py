@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Set
 
 import networkx as nx
 
-from repro.congest.network import Network
+from repro.congest.network import Network, UniformInputs
 from repro.congest.node import NodeContext, NodeProgram
 from repro.congest.pipelining import items_per_message
 from repro.congest.policy import BandwidthPolicy
@@ -163,14 +163,14 @@ def naive_congest_d2_color(
     color_bits = max(1, (palette - 1).bit_length()) + 4
     per_message = items_per_message(color_bits, budget)
     relay_rounds = max(1, -(-delta // per_message))
-    inputs = {
-        v: {
+    inputs = UniformInputs(
+        graph.nodes,
+        {
             "palette": palette,
             "relay_rounds": relay_rounds,
             "per_message": per_message,
-        }
-        for v in graph.nodes
-    }
+        },
+    )
     network = Network(
         graph,
         NaiveProgram,

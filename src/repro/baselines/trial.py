@@ -13,7 +13,7 @@ from typing import Optional
 
 import networkx as nx
 
-from repro.congest.network import Network
+from repro.congest.network import Network, UniformInputs
 from repro.congest.node import NodeContext, NodeProgram
 from repro.congest.policy import BandwidthPolicy
 from repro.core.trying import TryPhaseMixin, all_colored
@@ -68,10 +68,10 @@ def trial_d2_color(
     if delta is None:
         delta = max((d for _, d in graph.degree), default=0)
     palette = math.floor((1.0 + eps) * delta * delta) + 1
-    inputs = {
-        v: {"palette": palette, "avoid_known": avoid_known}
-        for v in graph.nodes
-    }
+    inputs = UniformInputs(
+        graph.nodes,
+        {"palette": palette, "avoid_known": avoid_known},
+    )
     network = Network(
         graph,
         TrialProgram,

@@ -68,6 +68,90 @@ from repro.congest.rng import derive_ints
 _EMPTY_INPUT: Dict[str, Any] = {}
 
 
+class UniformInputs(Mapping):
+    """``{node: payload}`` with one shared payload for every node.
+
+    Protocols whose per-node inputs are identical (the trial and
+    naive baselines ship the same palette dict to all n nodes) pass
+    this instead of a dict-of-dicts: O(1) memory instead of one dict
+    per node — at n = 2²⁰ that alone is ~150 MB.  Materialization
+    copies the payload per node (``NodeContext`` owns its data), so
+    sharing is safe.
+    """
+
+    __slots__ = ("_nodes", "_payload")
+
+    def __init__(self, nodes, payload: Dict[str, Any]):
+        self._nodes = nodes
+        self._payload = payload
+
+    def __getitem__(self, node) -> Dict[str, Any]:
+        if node in self._nodes:
+            return self._payload
+        raise KeyError(node)
+
+    def get(self, node, default=None):
+        return self._payload if node in self._nodes else default
+
+    def __iter__(self):
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+class LazyDraws:
+    """Per-node ``randrange`` streams without n live RNG objects.
+
+    ``plan.rngs()`` keeps one ``random.Random`` per node (~2.5 KB
+    each — gigabytes at n = 2²⁰) even though a kernel run draws from
+    most nodes exactly once.  This draws on-stream at O(1) retained
+    state per *re-drawing* node: the first draw of a node creates its
+    ``Random``, draws, and discards it; a second draw recreates the
+    stream, replays the recorded first draw, and keeps the object
+    (few nodes ever reach a second draw at corpus densities).
+
+    Replay is exact for arbitrary per-draw bounds: only the first
+    draw is ever replayed, and its bound is recorded.
+    """
+
+    __slots__ = ("_seeds", "_counts", "_bounds", "_kept")
+
+    def __init__(self, seeds: List[int]):
+        self._seeds = seeds
+        self._counts: Dict[int, int] = {}
+        self._bounds: Dict[int, int] = {}
+        self._kept: Dict[int, random.Random] = {}
+
+    def randrange(self, i: int, bound: int) -> int:
+        """The next ``randrange(bound)`` of node index ``i`` —
+        bit-identical to ``plan.rngs()[i].randrange(bound)``."""
+        rng = self._kept.get(i)
+        if rng is None:
+            rng = random.Random(self._seeds[i])
+            count = self._counts.get(i, 0)
+            if count:
+                rng.randrange(self._bounds[i])
+                self._kept[i] = rng
+            else:
+                self._bounds[i] = bound
+            self._counts[i] = count + 1
+            return rng.randrange(bound)
+        self._counts[i] += 1
+        return rng.randrange(bound)
+
+    def rng(self, i: int) -> random.Random:
+        """The advanced stream of node index ``i`` (reconstructed and
+        retained if its only draws were discarded)."""
+        rng = self._kept.get(i)
+        if rng is None:
+            rng = random.Random(self._seeds[i])
+            if self._counts.get(i, 0):
+                rng.randrange(self._bounds[i])
+            self._kept[i] = rng
+        return rng
+
+
 @dataclass
 class RunResult:
     """Outcome of one :meth:`Network.run` execution."""
@@ -119,13 +203,14 @@ class NetworkPlan:
     advance the same ``random.Random`` objects.
     """
 
-    __slots__ = ("network", "csr", "_seeds", "_rngs")
+    __slots__ = ("network", "csr", "_seeds", "_rngs", "_lazy")
 
     def __init__(self, network: "Network", csr):
         self.network = network
         self.csr = csr
         self._seeds: Optional[List[int]] = None
         self._rngs: Optional[List[random.Random]] = None
+        self._lazy: Optional[LazyDraws] = None
 
     @property
     def order(self):
@@ -144,11 +229,34 @@ class NetworkPlan:
         """Per-node RNG streams, aligned with :attr:`order`.
 
         The same objects end up in ``contexts[v].rng`` if the network
-        materializes later, so kernel draws stay on-stream.
+        materializes later, so kernel draws stay on-stream — draws
+        consumed through :meth:`lazy_draws` included (the lazy
+        scheme reconstructs each advanced stream exactly).
         """
         if self._rngs is None:
-            self._rngs = [random.Random(s) for s in self.rng_seeds()]
+            if self._lazy is not None:
+                self._rngs = [
+                    self._lazy.rng(i) for i in range(self.csr.n)
+                ]
+            else:
+                self._rngs = [
+                    random.Random(s) for s in self.rng_seeds()
+                ]
         return self._rngs
+
+    def lazy_draws(self) -> LazyDraws:
+        """O(1)-retained-state per-node draw streams (see
+        :class:`LazyDraws`) — what kernels use instead of
+        :meth:`rngs` so an unmaterialized million-node run never
+        holds a million ``random.Random`` objects."""
+        if self._rngs is not None:
+            # Streams already exist: lazy draws must advance them.
+            lazy = LazyDraws(self.rng_seeds())
+            lazy._kept = dict(enumerate(self._rngs))
+            return lazy
+        if self._lazy is None:
+            self._lazy = LazyDraws(self.rng_seeds())
+        return self._lazy
 
     def input_for(self, node: int) -> Dict[str, Any]:
         """The (unmaterialized) input dict of ``node``; never copied,

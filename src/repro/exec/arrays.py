@@ -1,16 +1,21 @@
-"""CSR-form adjacency arrays: the vectorized backend's artifact.
+"""CSR-form adjacency arrays: the primary instance representation.
 
-A :class:`CSRAdjacency` is the struct-of-arrays view of one graph:
+A :class:`CSRAdjacency` is the struct-of-arrays form of one graph:
 node labels flattened to dense indices ``0..n-1`` in sorted-label
-order, with both the G adjacency and the exact-distance-≤2 (G²,
-self-free) adjacency in compressed-sparse-row form.  It is derived
-once per instance — :meth:`repro.workloads.cache.Instance.csr`
-memoizes it next to ``d2_adjacency`` and ships it prebuilt through
-pickling — and looked up per run through a weak per-graph registry so
-repeated runs on the same graph object never rebuild it.
+order, with the G adjacency in compressed-sparse-row form and the
+exact-distance-≤2 (G², self-free) adjacency derived lazily from it by
+:func:`_square_rows` — a pure-numpy gather/sort/unique merge, no
+Python sets and no scipy matmul.  Instances are *born* as CSR
+(:mod:`repro.graphs.generators` emits them directly for the scalable
+families), memoized per workload (:meth:`repro.workloads.cache.
+Instance.csr` ships them prebuilt through pickling), and looked up
+per graph object through a weak registry so repeated runs never
+rebuild.
 
-Everything here is plain numpy/scipy; the kernels in
-:mod:`repro.exec.vectorized` are the only consumers.
+Everything here is plain numpy; the kernels in
+:mod:`repro.exec.vectorized`, the checker fast path in
+:mod:`repro.verify.checker`, and the instance cache are the
+consumers.
 """
 
 from __future__ import annotations
@@ -20,19 +25,118 @@ from typing import Tuple
 
 import networkx as nx
 import numpy as np
-from scipy import sparse
+
+_EMPTY_INDPTR = np.zeros(1, dtype=np.int64)
+_EMPTY_INDICES = np.zeros(0, dtype=np.int64)
+
+
+class _IdentityIndex:
+    """The label→dense-index map of an identity-labeled graph.
+
+    CSR-born instances label nodes ``0..n-1``, so their index map is
+    the identity; this stand-in answers the same Mapping-style calls
+    as the dict :func:`build_csr` builds, in O(1) memory (a dict of a
+    million small ints costs ~90 MB).
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def __getitem__(self, label):
+        if not (0 <= label < self.n):
+            raise KeyError(label)
+        return label
+
+    def get(self, label, default=None):
+        return label if 0 <= label < self.n else default
+
+    def __contains__(self, label):
+        return isinstance(label, int) and 0 <= label < self.n
+
+    def __len__(self):
+        return self.n
+
+    def __eq__(self, other):
+        if isinstance(other, _IdentityIndex):
+            return self.n == other.n
+        if isinstance(other, dict):
+            return other == {i: i for i in range(self.n)}
+        return NotImplemented
+
+    def __reduce__(self):
+        return (_IdentityIndex, (self.n,))
+
+
+def _square_rows(
+    n: int, indptr: np.ndarray, indices: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distance-≤2 CSR rows (diagonal dropped) from distance-1 rows.
+
+    Pure numpy: for every edge (u, w) gather w's whole row as u's
+    distance-2 candidates, append u's own row, drop the diagonal,
+    and dedup via one sort+unique over ``row * n + col`` keys.
+    """
+    if n == 0:
+        return _EMPTY_INDPTR.copy(), _EMPTY_INDICES.copy()
+    deg = np.diff(indptr)
+    owner = np.repeat(np.arange(n, dtype=np.int64), deg)
+    nbr = indices
+    # Candidate pairs: every (u, v) with v adjacent to a neighbor of u
+    # (distance 2, may rediscover distance 1 or u itself) ...
+    deg_u = deg[nbr]
+    total = int(deg_u.sum())
+    owners2 = np.repeat(owner, deg_u)
+    csum = np.concatenate((_EMPTY_INDPTR, np.cumsum(deg_u)))
+    gather = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(csum[:-1], deg_u)
+        + np.repeat(indptr[nbr], deg_u)
+    )
+    cand2 = indices[gather]
+    del gather, csum, deg_u
+    # ... plus every direct (u, v) edge (distance 1).  Fuse straight
+    # into the ``row * n + col`` sort keys, filtering the diagonal
+    # per piece: at 10⁶ nodes the full row/col concatenated copies
+    # would transiently dominate the whole process footprint.
+    keys2 = owners2 * np.int64(n)
+    keys2 += cand2
+    keys2 = keys2[owners2 != cand2]
+    del owners2, cand2
+    keys1 = owner * np.int64(n)
+    keys1 += nbr
+    keys1 = keys1[owner != nbr]
+    del owner
+    keys = np.concatenate((keys1, keys2))
+    del keys1, keys2
+    keys.sort()  # in-place; dedup via boundary flags, not np.unique
+    if keys.size:
+        keep = np.empty(keys.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+        keys = keys[keep]
+    g2_indices = keys % np.int64(n)
+    counts = np.bincount(keys // np.int64(n), minlength=n)
+    g2_indptr = np.concatenate(
+        (_EMPTY_INDPTR, np.cumsum(counts))
+    ).astype(np.int64)
+    return g2_indptr, g2_indices
 
 
 class CSRAdjacency:
-    """Dense-indexed CSR adjacency of G and G² for one graph.
+    """Dense-indexed CSR adjacency of G (and, lazily, G²).
 
     ``order[i]`` is the node label of dense index ``i`` (sorted label
-    order — the same order every canonical payload uses), ``index``
-    the inverse map.  ``g_indptr``/``g_indices`` is the CSR adjacency
-    of G with sorted rows; ``g2_indptr``/``g2_indices`` the CSR
-    adjacency of G² (distance ≤ 2, diagonal removed).  ``degrees``
-    and ``d2_degrees`` are the per-row counts.  ``has_selfloops``
-    flags graphs the kernels refuse (they fall back to fastpath).
+    order — the same order every canonical payload uses; a ``range``
+    for identity-labeled graphs), ``index`` the inverse map.
+    ``g_indptr``/``g_indices`` is the CSR adjacency of G with sorted
+    rows; ``g2_indptr``/``g2_indices`` the CSR adjacency of G²
+    (distance ≤ 2, diagonal removed), derived on first touch and
+    memoized — building a graph no longer pays for its square.
+    ``degrees`` and ``d2_degrees`` are the per-row counts.
+    ``has_selfloops`` flags graphs the kernels refuse (they fall back
+    to fastpath).
     """
 
     __slots__ = (
@@ -41,11 +145,10 @@ class CSRAdjacency:
         "index",
         "g_indptr",
         "g_indices",
-        "g2_indptr",
-        "g2_indices",
         "degrees",
-        "d2_degrees",
         "has_selfloops",
+        "_g2_indptr",
+        "_g2_indices",
     )
 
     def __init__(
@@ -55,22 +158,47 @@ class CSRAdjacency:
         index,
         g_indptr,
         g_indices,
-        g2_indptr,
-        g2_indices,
-        degrees,
-        d2_degrees,
-        has_selfloops,
+        degrees=None,
+        has_selfloops=False,
+        g2_indptr=None,
+        g2_indices=None,
     ):
         self.n = n
         self.order = order
         self.index = index
         self.g_indptr = g_indptr
         self.g_indices = g_indices
-        self.g2_indptr = g2_indptr
-        self.g2_indices = g2_indices
-        self.degrees = degrees
-        self.d2_degrees = d2_degrees
+        self.degrees = (
+            np.diff(g_indptr) if degrees is None else degrees
+        )
         self.has_selfloops = has_selfloops
+        self._g2_indptr = g2_indptr
+        self._g2_indices = g2_indices
+
+    def _ensure_square(self) -> None:
+        if self._g2_indptr is None:
+            self._g2_indptr, self._g2_indices = _square_rows(
+                self.n, self.g_indptr, self.g_indices
+            )
+
+    @property
+    def g2_indptr(self) -> np.ndarray:
+        self._ensure_square()
+        return self._g2_indptr
+
+    @property
+    def g2_indices(self) -> np.ndarray:
+        self._ensure_square()
+        return self._g2_indices
+
+    @property
+    def d2_degrees(self) -> np.ndarray:
+        return np.diff(self.g2_indptr)
+
+    @property
+    def has_square(self) -> bool:
+        """True once the G² rows exist (derived or supplied)."""
+        return self._g2_indptr is not None
 
     def __getstate__(self):
         return {slot: getattr(self, slot) for slot in self.__slots__}
@@ -80,67 +208,135 @@ class CSRAdjacency:
             setattr(self, slot, state[slot])
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        m2 = (
+            f"m2={self._g2_indices.size // 2}"
+            if self._g2_indices is not None
+            else "m2=?"
+        )
         return (
-            f"<CSRAdjacency n={self.n} m={self.g_indices.size // 2} "
-            f"m2={self.g2_indices.size // 2}>"
+            f"<CSRAdjacency n={self.n} "
+            f"m={self.g_indices.size // 2} {m2}>"
         )
 
 
-def build_csr(graph: nx.Graph) -> CSRAdjacency:
-    """Build the CSR artifact for a graph (one sparse boolean square)."""
-    order: Tuple = tuple(sorted(graph.nodes))
-    n = len(order)
-    index = {v: i for i, v in enumerate(order)}
-    has_selfloops = nx.number_of_selfloops(graph) > 0
+def square_csr(csr: CSRAdjacency) -> CSRAdjacency:
+    """The G² adjacency of ``csr`` as a first-class CSR artifact.
 
+    The result shares ``order``/``index`` with the input; its G rows
+    are the input's (memoized) G² rows.  This is the array
+    replacement for the set-of-sets :func:`repro.graphs.square.
+    d2_neighborhoods` derivation — that one stays as the reference
+    oracle, and a hypothesis suite pins their equivalence.
+    """
+    return CSRAdjacency(
+        n=csr.n,
+        order=csr.order,
+        index=csr.index,
+        g_indptr=csr.g2_indptr,
+        g_indices=csr.g2_indices,
+        has_selfloops=csr.has_selfloops,
+    )
+
+
+def build_csr_from_edges(
+    n: int, us: np.ndarray, vs: np.ndarray
+) -> CSRAdjacency:
+    """CSR artifact straight from edge arrays over nodes ``0..n-1``.
+
+    The CSR-direct generators call this — no ``nx.Graph`` is ever
+    constructed.  ``us``/``vs`` must be self-loop-free and duplicate
+    free (undirected edges listed once, either orientation); that is
+    what the generators produce.
+    """
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    src = np.concatenate((us, vs))
+    dst = np.concatenate((vs, us))
+    sort = np.lexsort((dst, src))
+    g_indices = dst[sort]
+    counts = np.bincount(src, minlength=n)
+    g_indptr = np.concatenate(
+        (_EMPTY_INDPTR, np.cumsum(counts))
+    ).astype(np.int64)
+    return CSRAdjacency(
+        n=n,
+        order=range(n),
+        index=_IdentityIndex(n),
+        g_indptr=g_indptr,
+        g_indices=g_indices,
+        has_selfloops=False,
+    )
+
+
+def _csr_from_labeled_edges(
+    order, index, edge_iter, has_selfloops: bool
+) -> CSRAdjacency:
+    n = len(order)
     rows = []
     cols = []
-    for u, v in graph.edges:
+    for u, v in edge_iter:
         if u == v:
             continue
-        iu, iv = index[u], index[v]
-        rows.append(iu)
-        cols.append(iv)
-        rows.append(iv)
-        cols.append(iu)
-    data = np.ones(len(rows), dtype=np.int32)
-    adj = sparse.csr_matrix(
-        (data, (np.asarray(rows, dtype=np.int64),
-                np.asarray(cols, dtype=np.int64))),
-        shape=(n, n),
-    )
-    adj.sum_duplicates()
-    adj.sort_indices()
-    g_indptr = adj.indptr.astype(np.int64)
-    g_indices = adj.indices.astype(np.int64)
-
-    # Distance ≤ 2 adjacency: A + A², diagonal dropped.  Row-array
-    # surgery instead of setdiag(0) keeps everything in CSR form.
-    two = (adj + adj @ adj).tocsr()
-    two.sum_duplicates()
-    two.sort_indices()
-    row_of = np.repeat(
-        np.arange(n, dtype=np.int64), np.diff(two.indptr)
-    )
-    keep = two.indices != row_of
-    g2_indices = two.indices[keep].astype(np.int64)
-    counts = np.bincount(row_of[keep], minlength=n)
-    g2_indptr = np.concatenate(
-        (np.zeros(1, dtype=np.int64), np.cumsum(counts))
+        rows.append(index[u])
+        cols.append(index[v])
+    us = np.asarray(rows, dtype=np.int64)
+    vs = np.asarray(cols, dtype=np.int64)
+    src = np.concatenate((us, vs))
+    dst = np.concatenate((vs, us))
+    sort = np.lexsort((dst, src))
+    g_indices = dst[sort]
+    counts = np.bincount(src, minlength=n)
+    g_indptr = np.concatenate(
+        (_EMPTY_INDPTR, np.cumsum(counts))
     ).astype(np.int64)
-
     return CSRAdjacency(
         n=n,
         order=order,
         index=index,
         g_indptr=g_indptr,
         g_indices=g_indices,
-        g2_indptr=g2_indptr,
-        g2_indices=g2_indices,
-        degrees=np.diff(g_indptr),
-        d2_degrees=np.diff(g2_indptr),
         has_selfloops=has_selfloops,
     )
+
+
+def build_csr(graph: nx.Graph) -> CSRAdjacency:
+    """Build the CSR artifact from an ``nx.Graph`` (compatibility
+    path — CSR-born graphs carry their artifact from birth)."""
+    order: Tuple = tuple(sorted(graph.nodes))
+    index = {v: i for i, v in enumerate(order)}
+    return _csr_from_labeled_edges(
+        order,
+        index,
+        graph.edges,
+        has_selfloops=nx.number_of_selfloops(graph) > 0,
+    )
+
+
+def build_csr_from_payload(nodes, edges) -> CSRAdjacency:
+    """CSR artifact from a canonical ``(nodes, edges)`` payload —
+    the post-pickle path of nx-born instances, no graph rebuild.
+    The payload may carry self-loop edges (canonical payloads keep
+    them); they are skipped and flagged like :func:`build_csr` does.
+    """
+    order = tuple(nodes)
+    index = {v: i for i, v in enumerate(order)}
+    return _csr_from_labeled_edges(
+        order,
+        index,
+        edges,
+        has_selfloops=any(u == v for u, v in edges),
+    )
+
+
+def csr_upper_edges(csr: CSRAdjacency):
+    """The dense-index edge list of ``csr`` as ``(us, vs)`` arrays,
+    upper-triangle row-major — lexicographically sorted ``u < v``,
+    the canonical-payload order."""
+    row_of = np.repeat(
+        np.arange(csr.n, dtype=np.int64), csr.degrees
+    )
+    mask = csr.g_indices > row_of
+    return row_of[mask], csr.g_indices[mask]
 
 
 # ----------------------------------------------------------------------
@@ -153,8 +349,12 @@ _GRAPH_CSR: "weakref.WeakKeyDictionary[nx.Graph, CSRAdjacency]" = (
 
 def csr_for_graph(graph: nx.Graph) -> CSRAdjacency:
     """The CSR artifact for a graph object, built at most once per
-    object.  :meth:`Instance.csr` pre-seeds this registry, so cached
-    workload instances never rebuild here."""
+    object.  CSR-born graph views carry their artifact as an
+    attribute; :meth:`Instance.csr` pre-seeds the weak registry, so
+    cached workload instances never rebuild here."""
+    born = getattr(graph, "csr_adjacency", None)
+    if born is not None:
+        return born
     cached = _GRAPH_CSR.get(graph)
     if cached is None:
         cached = build_csr(graph)

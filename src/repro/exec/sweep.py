@@ -152,8 +152,10 @@ class SweepCell:
         )
 
     def graph(self) -> nx.Graph:
-        """The instance graph, shared through the cache."""
-        return self.instance().graph()
+        """The cheapest graph-shaped object for this cell, shared
+        through the cache (a CSR-backed view for CSR-born
+        instances)."""
+        return self.instance().graphlike()
 
     def delta(self) -> int:
         """Maximum degree (from the cached instance artifact)."""
@@ -451,7 +453,7 @@ def grid_cells(
         registered = is_registered_spec(scenario)
         for seed in seeds:
             if registered:
-                graph = cache.get(scenario, seed).graph()
+                graph = cache.get(scenario, seed).graphlike()
             else:
                 graph = scenario.graph(seed)
             for spec in specs:

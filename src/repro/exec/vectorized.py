@@ -461,6 +461,7 @@ def _trial_kernel(network, *, max_rounds, stop_when, raise_on_timeout):
                     return None  # negative breaks the -1 sentinel
                 colors[i] = color
         rngs = [programs[v].ctx.rng for v in order]
+        draw_one = lambda i, bound: rngs[i].randrange(bound)  # noqa: E731
     else:
         for i, node in enumerate(order):
             data = plan.input_for(node)
@@ -483,7 +484,9 @@ def _trial_kernel(network, *, max_rounds, stop_when, raise_on_timeout):
                 ):
                     return None
                 colors[i] = color
-        rngs = plan.rngs()
+        # Lazy per-node streams: a million-node run never holds a
+        # million Random objects (see NetworkPlan.lazy_draws).
+        draw_one = plan.lazy_draws().randrange
 
     metered = network.policy.mode is not BandwidthMode.UNBOUNDED
     meter = _Meter(metered)
@@ -495,7 +498,7 @@ def _trial_kernel(network, *, max_rounds, stop_when, raise_on_timeout):
     def draw(_phase, live_idx):
         phases_tried[live_idx] += 1
         return [
-            rngs[i].randrange(int(palettes[i]))
+            draw_one(i, int(palettes[i]))
             for i in live_idx.tolist()
         ]
 
@@ -942,10 +945,11 @@ def _luby_kernel(network, *, max_rounds, stop_when, raise_on_timeout):
         if any(programs[v].state != _STATE_LIVE for v in order):
             return None  # resumed/preseeded state: not a fresh run
         rngs = [programs[v].ctx.rng for v in order]
+        draw_one = lambda i, bound: rngs[i].randrange(bound)  # noqa: E731
     else:
         for v in order:
             ks.add(plan.input_for(v).get("k"))
-        rngs = plan.rngs()
+        draw_one = plan.lazy_draws().randrange
     if len(ks) != 1:
         return None
     k = ks.pop()
@@ -1040,7 +1044,7 @@ def _luby_kernel(network, *, max_rounds, stop_when, raise_on_timeout):
             own.fill(-1)
             n3 = n**3
             own[live_idx] = [
-                rngs[i].randrange(n3) * n + int(labels[i])
+                draw_one(i, n3) * n + int(labels[i])
                 for i in live_idx.tolist()
             ]
             best = own.copy()

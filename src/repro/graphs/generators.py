@@ -2,15 +2,30 @@
 
 All generators return graphs with consecutive integer node labels
 (required by the simulator: labels double as O(log n)-bit IDs).
+
+The scalable families — :func:`gnp_fast`, :func:`random_regular`,
+:func:`power_law` — are *CSR-direct*: a pure-Python port of the exact
+networkx sampling loop (bit-identical ``random.Random`` consumption,
+pinned by tests against networkx itself) collects edge arrays, and the
+result is a :class:`~repro.graphs.csrgraph.CSRGraphView` born with its
+:class:`~repro.exec.arrays.CSRAdjacency` — no dict-of-dicts is ever
+built on the huge-tier hot path.  Each view carries an ``nx_factory``
+replaying the legacy networkx construction, so mutating consumers
+(``high_girth``, ``sampling_palette_graph``, ``with_max_degree``)
+``.copy()`` into a byte-identical real ``nx.Graph`` first.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from typing import Optional
+from collections import defaultdict
+from typing import List, Optional, Set, Tuple
 
 import networkx as nx
+
+from repro.exec.arrays import build_csr_from_edges
+from repro.graphs.csrgraph import CSRGraphView
 
 
 def ensure_int_labels(graph: nx.Graph) -> nx.Graph:
@@ -23,14 +38,85 @@ def ensure_int_labels(graph: nx.Graph) -> nx.Graph:
     return nx.relabel_nodes(graph, mapping, copy=True)
 
 
+def _regular_edge_set(
+    degree: int, n: int, seed: int
+) -> Set[Tuple[int, int]]:
+    """Exact port of ``nx.random_regular_graph``'s pairing model.
+
+    Consumes the seed's ``random.Random`` stream identically and
+    builds the edge set through the same insertion sequence, so the
+    sampled graph is the one networkx would return.
+    """
+    rng = random.Random(seed)
+    if degree == 0:
+        return set()
+
+    def _suitable(edges, potential_edges):
+        if not potential_edges:
+            return True
+        for s1 in potential_edges:
+            for s2 in potential_edges:
+                if s1 == s2:
+                    break
+                if s1 > s2:
+                    s1, s2 = s2, s1
+                if (s1, s2) not in edges:
+                    return True
+        return False
+
+    def _try_creation():
+        edges = set()
+        stubs = list(range(n)) * degree
+        while stubs:
+            potential_edges = defaultdict(lambda: 0)
+            rng.shuffle(stubs)
+            stubiter = iter(stubs)
+            for s1, s2 in zip(stubiter, stubiter):
+                if s1 > s2:
+                    s1, s2 = s2, s1
+                if s1 != s2 and ((s1, s2) not in edges):
+                    edges.add((s1, s2))
+                else:
+                    potential_edges[s1] += 1
+                    potential_edges[s2] += 1
+            if not _suitable(edges, potential_edges):
+                return None
+            stubs = [
+                node
+                for node, potential in potential_edges.items()
+                for _ in range(potential)
+            ]
+        return edges
+
+    edges = _try_creation()
+    while edges is None:
+        edges = _try_creation()
+    return edges
+
+
 def random_regular(degree: int, n: int, seed: int = 0) -> nx.Graph:
-    """Connected-ish random ``degree``-regular graph on ``n`` nodes."""
+    """Connected-ish random ``degree``-regular graph on ``n`` nodes.
+
+    CSR-direct: returns a :class:`CSRGraphView` over the exact edge
+    set networkx would sample for this seed.
+    """
     if degree >= n:
         raise ValueError("degree must be < n")
     if (degree * n) % 2 != 0:
         n += 1
-    graph = nx.random_regular_graph(degree, n, seed=seed)
-    return ensure_int_labels(graph)
+    if not 0 <= degree < n:
+        raise nx.NetworkXError(
+            "the 0 <= d < n inequality must be satisfied"
+        )
+    edges = sorted(_regular_edge_set(degree, n, seed))
+    us = [u for u, _ in edges]
+    vs = [v for _, v in edges]
+    return CSRGraphView(
+        build_csr_from_edges(n, us, vs),
+        nx_factory=lambda: ensure_int_labels(
+            nx.random_regular_graph(degree, n, seed=seed)
+        ),
+    )
 
 
 def gnp(n: int, p: float, seed: int = 0) -> nx.Graph:
@@ -38,14 +124,50 @@ def gnp(n: int, p: float, seed: int = 0) -> nx.Graph:
     return ensure_int_labels(nx.gnp_random_graph(n, p, seed=seed))
 
 
+def _fast_gnp_edges(
+    n: int, p: float, seed: int
+) -> Tuple[List[int], List[int]]:
+    """Exact port of ``nx.fast_gnp_random_graph``'s geometric-skip
+    loop (undirected): same ``random.Random`` stream, same edges."""
+    rng = random.Random(seed)
+    us: List[int] = []
+    vs: List[int] = []
+    lp = math.log(1.0 - p)
+    v = 1
+    w = -1
+    while v < n:
+        lr = math.log(1.0 - rng.random())
+        w = w + 1 + int(lr / lp)
+        while w >= v and v < n:
+            w = w - v
+            v = v + 1
+        if v < n:
+            us.append(v)
+            vs.append(w)
+    return us, vs
+
+
 def gnp_fast(n: int, p: float, seed: int = 0) -> nx.Graph:
     """Erdős–Rényi G(n, p) via the O(n + m) geometric-skip sampler.
 
     Same distribution as :func:`gnp`, different sample for the same
     seed — used for the huge tier, where the O(n²) sampler takes
-    minutes.
+    minutes.  CSR-direct: the sample is drawn straight into edge
+    arrays and returned as a :class:`CSRGraphView`; no ``nx.Graph``
+    is built at any size.
     """
-    return ensure_int_labels(nx.fast_gnp_random_graph(n, p, seed=seed))
+    if p <= 0 or p >= 1:
+        # Degenerate densities take networkx's gnp fallback.
+        return ensure_int_labels(
+            nx.fast_gnp_random_graph(n, p, seed=seed)
+        )
+    us, vs = _fast_gnp_edges(n, p, seed)
+    return CSRGraphView(
+        build_csr_from_edges(n, us, vs),
+        nx_factory=lambda: ensure_int_labels(
+            nx.fast_gnp_random_graph(n, p, seed=seed)
+        ),
+    )
 
 
 def unit_disk(
@@ -245,7 +367,9 @@ def high_girth(
     when girth > 4) — the regime where similarity filtering and the
     single-2-path checks of Reduce-Phase are exercised hardest.
     """
-    graph = random_regular(degree, n, seed=seed)
+    # .copy() replays the legacy nx construction: the edge-removal
+    # loop below walks graph.edges in the historical insertion order.
+    graph = random_regular(degree, n, seed=seed).copy()
     for _ in range(max_passes):
         shortest = _shortest_cycle_edge(graph, girth)
         if shortest is None:
@@ -316,6 +440,60 @@ def multileaf(hubs: int, leaves: int) -> nx.Graph:
     return graph
 
 
+def _powerlaw_adjacency(
+    n: int, m: int, p: float, seed: int
+) -> dict:
+    """Exact port of ``nx.powerlaw_cluster_graph`` (Holme–Kim).
+
+    Replicates the dict-of-dicts adjacency insertion order — the
+    clustering step draws from ``G.neighbors(target)`` — and the
+    set-pop order of ``_random_subset``, so the sampled graph is the
+    one networkx would return for this seed.
+    """
+    rng = random.Random(seed)
+    adj: dict = {v: {} for v in range(m)}
+
+    def add_edge(u, v):
+        adj.setdefault(u, {})[v] = None
+        adj.setdefault(v, {})[u] = None
+
+    def _random_subset(seq, count):
+        targets = set()
+        while len(targets) < count:
+            targets.add(rng.choice(seq))
+        return targets
+
+    repeated_nodes = list(range(m))
+    source = m
+    while source < n:
+        possible_targets = _random_subset(repeated_nodes, m)
+        target = possible_targets.pop()
+        add_edge(source, target)
+        repeated_nodes.append(target)
+        count = 1
+        while count < m:
+            if rng.random() < p:
+                neighborhood = [
+                    nbr
+                    for nbr in adj[target]
+                    if nbr not in adj.get(source, {})
+                    and nbr != source
+                ]
+                if neighborhood:
+                    nbr = rng.choice(neighborhood)
+                    add_edge(source, nbr)
+                    repeated_nodes.append(nbr)
+                    count = count + 1
+                    continue
+            target = possible_targets.pop()
+            add_edge(source, target)
+            repeated_nodes.append(target)
+            count = count + 1
+        repeated_nodes.extend([source] * m)
+        source += 1
+    return adj
+
+
 def power_law(
     n: int,
     attach: int = 2,
@@ -327,11 +505,27 @@ def power_law(
     Heavy-tailed degrees give a few hubs whose d2-neighborhoods span
     most of the graph while the long tail stays sparse — the skewed
     regime the uniform families (regular, G(n,p)) never produce.
+    CSR-direct: returns a :class:`CSRGraphView` over the exact edge
+    set networkx would grow for this seed.
     """
     if n <= attach:
         raise ValueError("n must exceed the attachment count")
-    graph = nx.powerlaw_cluster_graph(n, attach, triangle_p, seed=seed)
-    return ensure_int_labels(graph)
+    adj = _powerlaw_adjacency(n, attach, triangle_p, seed)
+    us: List[int] = []
+    vs: List[int] = []
+    for u, nbrs in adj.items():
+        for v in nbrs:
+            if u < v:
+                us.append(u)
+                vs.append(v)
+    return CSRGraphView(
+        build_csr_from_edges(n, us, vs),
+        nx_factory=lambda: ensure_int_labels(
+            nx.powerlaw_cluster_graph(
+                n, attach, triangle_p, seed=seed
+            )
+        ),
+    )
 
 
 def weighted_gnp(
@@ -442,7 +636,8 @@ def sampling_palette_graph(
     workload specs built on this family carry a ``palette_slack``
     parameter recording the intended palette/d2-degree ratio.
     """
-    graph = random_regular(degree, n, seed=seed)
+    # .copy() replays the legacy nx construction before mutating.
+    graph = random_regular(degree, n, seed=seed).copy()
     rng = random.Random(seed ^ 0x5DEECE66)
     size = graph.number_of_nodes()
     for _ in range(chords):

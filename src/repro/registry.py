@@ -147,10 +147,15 @@ class AlgorithmSpec:
 
         Sweeps and examples that already hold an instance (graph built
         once, Δ / G² memoized) use this instead of re-deriving the
-        graph per spec — see :mod:`repro.workloads`.
+        graph per spec — see :mod:`repro.workloads`.  CSR-born
+        instances run on their array-backed view; the nx graph is
+        never materialized on this path.
         """
         return self.run(
-            instance.graph(), seed=seed, policy=policy, backend=backend
+            instance.graphlike(),
+            seed=seed,
+            policy=policy,
+            backend=backend,
         )
 
     def applicable(self, graph: nx.Graph) -> bool:

@@ -17,9 +17,18 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import networkx as nx
+
+try:  # numpy is a required dep, but degrade gracefully without
+    import numpy as np
+except ImportError:  # pragma: no cover - container always has numpy
+    np = None
+
+#: Color values outside this magnitude decline the array fast path
+#: (int64 comparisons would be inexact).
+_INT64_SAFE = 2**62
 
 
 @dataclass
@@ -77,20 +86,95 @@ def _nodes_within(graph: nx.Graph, source, k: int) -> List:
     return out
 
 
+def _check_csr(csr, coloring, k, palette_size) -> Optional[CheckReport]:
+    """Array fast path over CSR rows; ``None`` declines the check
+    (self-loops, unsupported ``k``, or colors int64 can't compare
+    exactly), in which case the caller falls back to BFS."""
+    if np is None or csr.has_selfloops:
+        return None
+    if k == 1:
+        indptr, indices = csr.g_indptr, csr.g_indices
+    elif k == 2:
+        indptr, indices = csr.g2_indptr, csr.g2_indices
+    else:
+        return None
+    n = csr.n
+    order = csr.order
+    vals = [coloring.get(v) for v in order]
+    for c in vals:
+        if c is not None and not (
+            isinstance(c, int) and -_INT64_SAFE < c < _INT64_SAFE
+        ):
+            return None
+    colored = np.fromiter(
+        (c is not None for c in vals), dtype=bool, count=n
+    )
+    colors = np.fromiter(
+        (0 if c is None else c for c in vals),
+        dtype=np.int64,
+        count=n,
+    )
+    uncolored = [v for v, c in zip(order, vals) if c is None]
+    out_of_palette: List[int] = []
+    if palette_size is not None:
+        bad = colored & (
+            (colors < 0) | (colors >= palette_size)
+        )
+        out_of_palette = [
+            order[i] for i in np.flatnonzero(bad).tolist()
+        ]
+    row_of = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(indptr)
+    )
+    clash = (
+        (indices > row_of)
+        & colored[row_of]
+        & colored[indices]
+        & (colors[row_of] == colors[indices])
+    )
+    conflicts = [
+        (order[i], order[j])
+        for i, j in zip(
+            row_of[clash].tolist(), indices[clash].tolist()
+        )
+    ]
+    colors_used = len(
+        {c for c in coloring.values() if c is not None}
+    )
+    valid = not (uncolored or conflicts or out_of_palette)
+    return CheckReport(
+        valid=valid,
+        conflicts=conflicts,
+        uncolored=uncolored,
+        out_of_palette=out_of_palette,
+        colors_used=colors_used,
+        palette_size=palette_size,
+    )
+
+
 def check_distance_k_coloring(
     graph: nx.Graph,
     coloring: Dict[int, Optional[int]],
     k: int,
     palette_size: Optional[int] = None,
-    adjacency: Optional[Mapping[int, Iterable[int]]] = None,
+    adjacency: Optional[Any] = None,
 ) -> CheckReport:
     """Check that nodes within distance ``k`` have distinct colors.
 
-    ``adjacency``, when given, is a precomputed ``{node: distance-<=k
-    neighbors}`` map (e.g. the cached G² adjacency for ``k == 2``)
-    used instead of the per-node BFS — same verdicts, one traversal
-    of the instance instead of one per call.
+    ``adjacency``, when given, is either a precomputed ``{node:
+    distance-<=k neighbors}`` map (e.g. the cached G² adjacency for
+    ``k == 2``) used instead of the per-node BFS, or a
+    :class:`~repro.exec.arrays.CSRAdjacency` of G — the array fast
+    path then checks every pair with a handful of vectorized passes
+    over the CSR rows (``k`` 1 and 2; anything it cannot replay
+    exactly falls back to BFS).  Same verdicts either way; conflict
+    pairs from the CSR path come out lexicographically sorted.
     """
+    if adjacency is not None and hasattr(adjacency, "g_indptr"):
+        report = _check_csr(adjacency, coloring, k, palette_size)
+        if report is not None:
+            return report
+        adjacency = None
     uncolored = [
         v for v in graph.nodes if coloring.get(v) is None
     ]

@@ -24,8 +24,67 @@ from typing import Any, Dict, Iterable, Optional, Tuple
 
 import networkx as nx
 
-from repro.graphs.square import d2_neighborhoods
+from repro.exec.arrays import (
+    CSRAdjacency,
+    build_csr_from_payload,
+    csr_upper_edges,
+    register_csr,
+)
+from repro.graphs.csrgraph import CSRGraphView
+from repro.graphs.square import max_d2_degree as graph_max_d2_degree
 from repro.workloads.spec import ParamsKey, get_workload
+
+#: str-chunk size for the streaming digest / payload materialization.
+_CHUNK = 65536
+
+
+def _stream_csr_digest(csr: CSRAdjacency) -> str:
+    """sha256 of ``repr((nodes, edges, ((), ())))`` computed straight
+    from the CSR arrays, byte-identical to the tuple-repr digest an
+    nx-built twin produces — without materializing the tuples.
+
+    Only valid for attribute-free identity-labeled instances (what
+    the CSR-direct generators emit); the equivalence is pinned by the
+    digest-stability regression test.
+    """
+    h = hashlib.sha256()
+    n = csr.n
+    # repr of the node tuple (0, 1, ..., n-1)
+    if n == 0:
+        h.update(b"((), ")
+    elif n == 1:
+        h.update(b"((0,), ")
+    else:
+        h.update(b"((")
+        for lo in range(0, n, _CHUNK):
+            hi = min(lo + _CHUNK, n)
+            tail = ", " if hi < n else "), "
+            h.update(
+                (", ".join(map(str, range(lo, hi))) + tail)
+                .encode("utf-8")
+            )
+    # repr of the sorted edge tuple ((u0, v0), (u1, v1), ...)
+    us, vs = csr_upper_edges(csr)
+    m = us.size
+    if m == 0:
+        h.update(b"(), ")
+    elif m == 1:
+        h.update(f"(({us[0]}, {vs[0]}),), ".encode("utf-8"))
+    else:
+        h.update(b"(")
+        for lo in range(0, m, _CHUNK):
+            hi = min(lo + _CHUNK, m)
+            chunk = ", ".join(
+                f"({u}, {v})"
+                for u, v in zip(
+                    us[lo:hi].tolist(), vs[lo:hi].tolist()
+                )
+            )
+            tail = ", " if hi < m else "), "
+            h.update((chunk + tail).encode("utf-8"))
+    # repr of the empty attrs pair, closing the outer tuple
+    h.update(b"((), ()))")
+    return h.hexdigest()
 
 
 def canonical_nodes_edges(
@@ -88,6 +147,12 @@ class Instance:
     boundary, so attribute-consuming policies see the same graph on
     every execution path.
 
+    CSR-born instances (built by the CSR-direct generators, arriving
+    as a :class:`CSRGraphView`) keep the arrays as the *primary*
+    artifact: the node/edge tuples, the content digest, Δ, and the
+    d2-degree table all come straight from the CSR, and the nx graph
+    is materialized only if a fallback/reference path asks for it.
+
     The graph returned by :meth:`graph` is the shared cached object —
     callers must not mutate it (copy first; ``named_instance`` does).
     """
@@ -96,12 +161,14 @@ class Instance:
         "workload",
         "params",
         "seed",
-        "nodes",
-        "edges",
+        "_nodes",
+        "_edges",
         "registered",
         "_node_attrs",
         "_edge_attrs",
         "_graph",
+        "_graphlike",
+        "_csr_born",
         "_delta",
         "_d2_adjacency",
         "_d2_degrees",
@@ -115,18 +182,24 @@ class Instance:
         self,
         workload: str,
         seed: int,
-        nodes: Tuple[Any, ...],
-        edges: Tuple[Tuple[Any, Any], ...],
+        nodes: Optional[Tuple[Any, ...]],
+        edges: Optional[Tuple[Tuple[Any, Any], ...]],
         params: ParamsKey = (),
         graph: Optional[nx.Graph] = None,
         registered: bool = False,
         node_attrs: Optional[Dict[Any, Dict]] = None,
         edge_attrs: Optional[Dict[Tuple, Dict]] = None,
+        csr: Optional[CSRAdjacency] = None,
+        graphlike: Optional[nx.Graph] = None,
     ):
+        if nodes is None and csr is None:
+            raise ValueError(
+                "an Instance needs a payload or a CSR artifact"
+            )
         self.workload = workload
         self.seed = seed
-        self.nodes = nodes
-        self.edges = edges
+        self._nodes = nodes
+        self._edges = edges
         self.params = params
         #: True when built from a *registered* workload spec — the
         #: only instances a worker may resolve by bare (name, seed).
@@ -134,11 +207,15 @@ class Instance:
         self._node_attrs = node_attrs or {}
         self._edge_attrs = edge_attrs or {}
         self._graph = graph
+        #: The compatibility view a CSR-born instance was built from
+        #: (not pickled — rebuilt from the CSR after a boundary).
+        self._graphlike = graphlike
+        self._csr_born = csr is not None and nodes is None
         self._delta: Optional[int] = None
         self._d2_adjacency: Optional[Dict[Any, frozenset]] = None
         self._d2_degrees: Optional[Dict[Any, int]] = None
         self._square: Optional[nx.Graph] = None
-        self._csr = None
+        self._csr = csr
         self._digest: Optional[str] = None
         #: Stats of the owning cache (bound on get/intern/install) so
         #: derivation counters land where the instance lives.
@@ -153,6 +230,24 @@ class Instance:
         params: ParamsKey = (),
         registered: bool = False,
     ) -> "Instance":
+        born = getattr(graph, "csr_adjacency", None)
+        if (
+            isinstance(graph, CSRGraphView)
+            and born is not None
+            and not born.has_selfloops
+        ):
+            # CSR-born: the arrays ARE the payload (identity labels,
+            # no attributes) — nothing tuple-shaped gets built here.
+            return cls(
+                workload,
+                seed,
+                None,
+                None,
+                params,
+                registered=registered,
+                csr=born,
+                graphlike=graph,
+            )
         nodes, edges = canonical_nodes_edges(graph)
         node_attrs, edge_attrs = extract_attrs(graph)
         return cls(
@@ -167,6 +262,21 @@ class Instance:
             edge_attrs=edge_attrs,
         )
 
+    # -- the canonical payload (lazy for CSR-born instances) -------------
+
+    @property
+    def nodes(self) -> Tuple[Any, ...]:
+        if self._nodes is None:
+            self._nodes = tuple(range(self._csr.n))
+        return self._nodes
+
+    @property
+    def edges(self) -> Tuple[Tuple[Any, Any], ...]:
+        if self._edges is None:
+            us, vs = csr_upper_edges(self._csr)
+            self._edges = tuple(zip(us.tolist(), vs.tolist()))
+        return self._edges
+
     # -- identity --------------------------------------------------------
 
     @property
@@ -176,70 +286,138 @@ class Instance:
     def digest(self) -> str:
         """Content address: sha256 over the canonical payload plus
         the carried attributes (two topologically equal graphs with
-        different edge weights are different content)."""
+        different edge weights are different content).  CSR-born
+        instances stream the identical bytes from the arrays — the
+        digest-stability regression test pins the equivalence."""
         if self._digest is None:
-            attrs = (
-                tuple(sorted(
-                    (v, tuple(sorted(data.items())))
-                    for v, data in self._node_attrs.items()
-                )),
-                tuple(sorted(
-                    (edge, tuple(sorted(data.items())))
-                    for edge, data in self._edge_attrs.items()
-                )),
-            )
-            payload = repr(
-                (self.nodes, self.edges, attrs)
-            ).encode("utf-8")
-            self._digest = hashlib.sha256(payload).hexdigest()
+            if self._csr_born:
+                self._digest = _stream_csr_digest(self._csr)
+            else:
+                attrs = (
+                    tuple(sorted(
+                        (v, tuple(sorted(data.items())))
+                        for v, data in self._node_attrs.items()
+                    )),
+                    tuple(sorted(
+                        (edge, tuple(sorted(data.items())))
+                        for edge, data in self._edge_attrs.items()
+                    )),
+                )
+                payload = repr(
+                    (self.nodes, self.edges, attrs)
+                ).encode("utf-8")
+                self._digest = hashlib.sha256(payload).hexdigest()
         return self._digest
 
     # -- the graph and its derived artifacts -----------------------------
 
     def graph(self) -> nx.Graph:
-        """The instance graph (memoized; rebuilt — attributes
-        included — from the canonical payload after crossing a
-        process boundary).  Shared: do not mutate."""
+        """A real ``nx.Graph`` for fallback/reference paths
+        (memoized; rebuilt — attributes included — from the canonical
+        payload after crossing a process boundary).  Hot paths should
+        prefer :meth:`graphlike`, which keeps CSR-born instances on
+        the array view.  Shared: do not mutate."""
         if self._graph is None:
             graph = nx.Graph()
-            graph.add_nodes_from(self.nodes)
-            graph.add_edges_from(self.edges)
-            for v, data in self._node_attrs.items():
-                graph.nodes[v].update(data)
-            for (u, v), data in self._edge_attrs.items():
-                if graph.has_edge(u, v):
-                    graph.edges[u, v].update(data)
+            if self._csr_born:
+                csr = self._csr
+                graph.add_nodes_from(range(csr.n))
+                us, vs = csr_upper_edges(csr)
+                graph.add_edges_from(
+                    zip(us.tolist(), vs.tolist())
+                )
+            else:
+                graph.add_nodes_from(self.nodes)
+                graph.add_edges_from(self.edges)
+                for v, data in self._node_attrs.items():
+                    graph.nodes[v].update(data)
+                for (u, v), data in self._edge_attrs.items():
+                    if graph.has_edge(u, v):
+                        graph.edges[u, v].update(data)
             self._graph = graph
             if self._csr is not None:
                 # A shipped CSR artifact must be reachable from the
                 # rebuilt graph object, not just from the instance.
-                from repro.exec.arrays import register_csr
-
                 register_csr(graph, self._csr)
         return self._graph
 
+    def graphlike(self) -> nx.Graph:
+        """The cheapest graph-shaped object for this instance: the
+        :class:`CSRGraphView` for CSR-born instances (rebuilt from
+        the arrays after a process boundary), the real graph
+        otherwise.  Every read-only consumer should take this."""
+        if self._csr_born:
+            if self._graphlike is None:
+                self._graphlike = CSRGraphView(self.csr())
+            return self._graphlike
+        return self.graph()
+
     @property
     def n(self) -> int:
-        return len(self.nodes)
+        if self._nodes is None:
+            return self._csr.n
+        return len(self._nodes)
 
     @property
     def delta(self) -> int:
         """Maximum degree (memoized, computable without the graph)."""
         if self._delta is None:
-            degree: Dict[Any, int] = {}
-            for u, v in self.edges:
-                degree[u] = degree.get(u, 0) + 1
-                degree[v] = degree.get(v, 0) + 1
-            self._delta = max(degree.values(), default=0)
+            if self._csr is not None and not self._csr.has_selfloops:
+                self._delta = int(
+                    self._csr.degrees.max(initial=0)
+                )
+            else:
+                # Legacy payload walk; counts a self-loop as +2 like
+                # nx degree does (the CSR arrays drop self-loops, so
+                # they cannot answer this case).
+                degree: Dict[Any, int] = {}
+                for u, v in self.edges:
+                    degree[u] = degree.get(u, 0) + 1
+                    degree[v] = degree.get(v, 0) + 1
+                self._delta = max(degree.values(), default=0)
         return self._delta
 
+    def square_csr(self) -> CSRAdjacency:
+        """The CSR artifact with its G² rows forced, counting the
+        derivation exactly once per instance.  Callers that need the
+        distance-2 structure (checker fast path, conformance prewarm)
+        should take this rather than touching ``csr().g2_indptr``
+        directly, so ``stats.square_builds`` keeps meaning "G²
+        derivations"."""
+        csr = self.csr()
+        if not csr.has_square and self._stats is not None:
+            self._stats.square_builds += 1
+        csr.g2_indptr  # noqa: B018 - forces the lazy derivation
+        return csr
+
     def d2_adjacency(self) -> Dict[Any, frozenset]:
-        """``{node: frozenset of d2-neighbors}`` — the G² adjacency,
-        computed once per instance (the expensive artifact)."""
+        """``{node: frozenset of d2-neighbors}`` — the G² adjacency
+        in the set-of-sets form the conformance paths consume,
+        computed once per instance *from the CSR arrays* (the
+        set-based :func:`d2_neighborhoods` stays as the reference
+        oracle; a parity suite pins the equivalence)."""
         if self._d2_adjacency is None:
-            if self._stats is not None:
-                self._stats.square_builds += 1
-            self._d2_adjacency = d2_neighborhoods(self.graph())
+            csr = self.square_csr()
+            order = csr.order
+            indptr = csr.g2_indptr
+            indices = csr.g2_indices
+            if isinstance(order, range):
+                self._d2_adjacency = {
+                    v: frozenset(
+                        indices[indptr[v]:indptr[v + 1]].tolist()
+                    )
+                    for v in order
+                }
+            else:
+                self._d2_adjacency = {
+                    order[i]: frozenset(
+                        order[j]
+                        for j in indices[
+                            indptr[i]:indptr[i + 1]
+                        ].tolist()
+                    )
+                    for i in range(csr.n)
+                }
         return self._d2_adjacency
 
     def square(self) -> nx.Graph:
@@ -256,27 +434,43 @@ class Instance:
     def d2_degrees(self) -> Dict[Any, int]:
         """Per-node d2-degree table (degree in G²)."""
         if self._d2_degrees is None:
-            self._d2_degrees = {
-                v: len(nbrs) for v, nbrs in self.d2_adjacency().items()
-            }
+            if self._d2_adjacency is not None:
+                self._d2_degrees = {
+                    v: len(nbrs)
+                    for v, nbrs in self._d2_adjacency.items()
+                }
+            else:
+                csr = self.square_csr()
+                counts = csr.d2_degrees.tolist()
+                self._d2_degrees = {
+                    v: counts[i]
+                    for i, v in enumerate(csr.order)
+                }
         return self._d2_degrees
 
     def max_d2_degree(self) -> int:
-        return max(self.d2_degrees().values(), default=0)
+        if self._d2_degrees is not None:
+            return max(self._d2_degrees.values(), default=0)
+        return graph_max_d2_degree(
+            None, adjacency=self.square_csr()
+        )
 
-    def csr(self):
+    def csr(self) -> CSRAdjacency:
         """The CSR-form G/G² adjacency arrays the ``vectorized``
-        backend executes over (see :mod:`repro.exec.arrays`),
-        computed once per instance and shipped prebuilt like
-        :meth:`d2_adjacency`.  Also seeds the per-graph-object
-        registry, so kernels running on :meth:`graph` find it."""
-        from repro.exec.arrays import build_csr, register_csr
-
+        backend and the checker fast path execute over (see
+        :mod:`repro.exec.arrays`) — the primary artifact, shipped
+        prebuilt through pickling.  Never materializes the nx graph;
+        if one already exists it is seeded into the per-graph-object
+        registry so kernels running on :meth:`graph` find the same
+        arrays."""
         if self._csr is None:
             if self._stats is not None:
                 self._stats.csr_builds += 1
-            self._csr = build_csr(self.graph())
-        register_csr(self.graph(), self._csr)
+            self._csr = build_csr_from_payload(
+                self.nodes, self.edges
+            )
+        if self._graph is not None:
+            register_csr(self._graph, self._csr)
         return self._csr
 
     # -- pickling: ship computed artifacts, drop rebuildable objects -----
@@ -286,11 +480,12 @@ class Instance:
             "workload": self.workload,
             "params": self.params,
             "seed": self.seed,
-            "nodes": self.nodes,
-            "edges": self.edges,
+            "nodes": self._nodes,
+            "edges": self._edges,
             "registered": self.registered,
             "node_attrs": self._node_attrs,
             "edge_attrs": self._edge_attrs,
+            "csr_born": self._csr_born,
             "delta": self._delta,
             "d2_adjacency": self._d2_adjacency,
             "d2_degrees": self._d2_degrees,
@@ -302,12 +497,14 @@ class Instance:
         self.workload = state["workload"]
         self.params = state["params"]
         self.seed = state["seed"]
-        self.nodes = state["nodes"]
-        self.edges = state["edges"]
+        self._nodes = state["nodes"]
+        self._edges = state["edges"]
         self.registered = state["registered"]
         self._node_attrs = state["node_attrs"]
         self._edge_attrs = state["edge_attrs"]
         self._graph = None
+        self._graphlike = None
+        self._csr_born = state.get("csr_born", False)
         self._square = None
         self._delta = state["delta"]
         self._d2_adjacency = state["d2_adjacency"]
@@ -317,9 +514,14 @@ class Instance:
         self._stats = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        m = (
+            self._csr.g_indices.size // 2
+            if self._edges is None
+            else len(self._edges)
+        )
         return (
             f"<Instance {self.workload!r} seed={self.seed} "
-            f"n={self.n} m={len(self.edges)}>"
+            f"n={self.n} m={m}>"
         )
 
 
@@ -518,13 +720,18 @@ class InstanceCache:
             node_attrs=node_attrs,
             edge_attrs=edge_attrs,
         )
-        if (
-            instance._graph is None
-            and nx.number_of_selfloops(graph) == 0
-        ):
+        born = getattr(graph, "csr_adjacency", None)
+        selfloop_free = (
+            not born.has_selfloops
+            if born is not None
+            else nx.number_of_selfloops(graph) == 0
+        )
+        if instance._graph is None and selfloop_free:
             # Self-loop graphs were canonicalized away from the
             # caller's object — let graph() rebuild those instead.
             instance._graph = graph
+            if instance._csr is None and born is not None:
+                instance._csr = born
         return instance
 
     # -- prewarm bookkeeping ---------------------------------------------

@@ -1,0 +1,243 @@
+"""Parity suites pinning the CSR array pipeline to its set/BFS oracles.
+
+Three equivalences the CSR-native instance pipeline rests on:
+
+1. ``exec.arrays.square_csr`` (numpy merge + dedup) derives exactly
+   the distance-2 rows that the set-based
+   ``graphs.square.d2_neighborhoods`` oracle computes;
+2. the checker's CSR fast path returns the same verdicts — validity,
+   conflict sets, counts, ``explain()`` text — as its independent BFS
+   on random graphs, random seeds, and deliberately invalid
+   colorings;
+3. a CSR-born instance and its nx-built twin intern to the *same*
+   content digest (cache identity is representation-independent).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.arrays import build_csr, square_csr
+from repro.graphs.csrgraph import CSRGraphView
+from repro.graphs.generators import gnp_fast, power_law, random_regular
+from repro.graphs.square import (
+    d2_degree,
+    d2_neighborhoods,
+    max_d2_degree,
+)
+from repro.verify.checker import check_distance_k_coloring
+from repro.workloads.cache import Instance
+
+
+@st.composite
+def random_graphs(draw, max_n: int = 12):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    mask = draw(
+        st.lists(
+            st.booleans(), min_size=len(pairs), max_size=len(pairs)
+        )
+    )
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(
+        pair for pair, keep in zip(pairs, mask) if keep
+    )
+    return graph
+
+
+@st.composite
+def graph_with_wild_coloring(draw, max_n: int = 12):
+    """A graph plus a deliberately hostile partial coloring: Nones,
+    in-palette colors, and out-of-palette values (negative included)."""
+    graph = draw(random_graphs(max_n=max_n))
+    palette = draw(st.integers(min_value=1, max_value=6))
+    coloring = {
+        v: draw(
+            st.one_of(
+                st.none(),
+                st.integers(min_value=-3, max_value=palette + 3),
+            )
+        )
+        for v in graph.nodes
+    }
+    return graph, coloring, palette
+
+
+def csr_rows_as_sets(csr):
+    """``{node: frozenset(row)}`` of a CSR artifact's G rows."""
+    indptr, indices = csr.g_indptr, csr.g_indices
+    return {
+        v: frozenset(indices[indptr[i]:indptr[i + 1]].tolist())
+        for i, v in enumerate(csr.order)
+    }
+
+
+class TestSquareCsrMatchesOracle:
+    @given(random_graphs())
+    @settings(max_examples=150)
+    def test_g2_rows_equal_d2_neighborhoods(self, graph):
+        sq = square_csr(build_csr(graph))
+        assert csr_rows_as_sets(sq) == d2_neighborhoods(graph)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_generator_families(self, seed):
+        for graph in (
+            gnp_fast(60, 0.08, seed=seed),
+            random_regular(4, 30, seed=seed),
+            power_law(40, 2, seed=seed),
+        ):
+            sq = square_csr(graph.csr_adjacency)
+            assert csr_rows_as_sets(sq) == d2_neighborhoods(graph)
+
+    @given(random_graphs())
+    @settings(max_examples=100)
+    def test_degree_helpers_accept_adjacency(self, graph):
+        csr = build_csr(graph)
+        hoods = d2_neighborhoods(graph)
+        assert max_d2_degree(graph) == max_d2_degree(
+            None, adjacency=csr
+        )
+        assert max_d2_degree(graph) == max_d2_degree(
+            None, adjacency=hoods
+        )
+        for v in graph.nodes:
+            assert d2_degree(graph, v) == d2_degree(
+                None, v, adjacency=csr
+            )
+            assert d2_degree(graph, v) == d2_degree(
+                None, v, adjacency=hoods
+            )
+
+    def test_view_detected_without_materializing(self):
+        view = gnp_fast(80, 0.05, seed=3)
+        via_view = max_d2_degree(view)
+        assert not view.materialized  # read straight off the arrays
+        assert via_view == max_d2_degree(nx.Graph(view))
+
+
+def _sorted(report):
+    report.conflicts.sort()
+    return report
+
+
+class TestCsrCheckerMatchesBfs:
+    @given(graph_with_wild_coloring(), st.integers(1, 2))
+    @settings(max_examples=200)
+    def test_same_verdicts(self, case, k):
+        graph, coloring, palette = case
+        csr = build_csr(graph)
+        via_bfs = _sorted(
+            check_distance_k_coloring(graph, coloring, k, palette)
+        )
+        via_csr = _sorted(
+            check_distance_k_coloring(
+                graph, coloring, k, palette, adjacency=csr
+            )
+        )
+        assert via_csr.valid == via_bfs.valid
+        assert via_csr.conflicts == via_bfs.conflicts
+        assert sorted(via_csr.uncolored) == sorted(via_bfs.uncolored)
+        assert sorted(via_csr.out_of_palette) == sorted(
+            via_bfs.out_of_palette
+        )
+        assert via_csr.colors_used == via_bfs.colors_used
+        assert via_csr.explain() == via_bfs.explain()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_generator_families_random_colorings(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        for graph in (
+            gnp_fast(50, 0.1, seed=seed),
+            random_regular(4, 24, seed=seed),
+        ):
+            csr = graph.csr_adjacency
+            palette = 8
+            coloring = {
+                v: (
+                    None
+                    if rng.random() < 0.2
+                    else rng.randrange(-1, palette + 1)
+                )
+                for v in range(csr.n)
+            }
+            for k in (1, 2):
+                bfs = _sorted(
+                    check_distance_k_coloring(
+                        graph, coloring, k, palette
+                    )
+                )
+                fast = _sorted(
+                    check_distance_k_coloring(
+                        graph, coloring, k, palette, adjacency=csr
+                    )
+                )
+                assert fast.explain() == bfs.explain()
+                assert fast.conflicts == bfs.conflicts
+                assert fast.valid == bfs.valid
+
+    def test_huge_colors_fall_back_to_bfs(self):
+        graph = nx.path_graph(4)
+        coloring = {0: 2**63, 1: 0, 2: 1, 3: 2**63}
+        csr = build_csr(graph)
+        report = check_distance_k_coloring(
+            graph, coloring, 2, adjacency=csr
+        )
+        # Both endpoints share a giant color at distance 3: valid,
+        # and the fallback must not have int64-truncated anything.
+        assert report.valid
+
+    def test_selfloop_graphs_decline_fast_path(self):
+        graph = nx.Graph([(0, 1), (1, 1), (1, 2)])
+        csr = build_csr(graph)
+        assert csr.has_selfloops
+        coloring = {0: 0, 1: 1, 2: 0}
+        report = check_distance_k_coloring(
+            graph, coloring, 2, adjacency=csr
+        )
+        assert not report.valid
+        assert (0, 2) in report.conflicts
+
+
+class TestDigestStability:
+    """Satellite (f): cache identity is representation-independent —
+    a CSR-born instance and its nx-built twin share a digest."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_csr_born_equals_nx_twin(self, seed):
+        view = gnp_fast(200, 0.03, seed=seed)
+        twin = nx.Graph()
+        twin.add_nodes_from(range(200))
+        twin.add_edges_from(view.edges)
+        born = Instance.from_graph("gnp", seed, view)
+        built = Instance.from_graph("gnp", seed, twin)
+        assert born._csr_born and not built._csr_born
+        assert born.digest() == built.digest()
+        assert born.nodes == built.nodes
+        assert born.edges == built.edges
+
+    def test_edge_cases(self):
+        cases = [
+            (nx.empty_graph(0), nx.empty_graph(0)),
+            (nx.empty_graph(1), nx.empty_graph(1)),
+            (nx.Graph([(0, 1)]), nx.Graph([(0, 1)])),
+        ]
+        for graph, twin in cases:
+            view = CSRGraphView(build_csr(graph))
+            born = Instance.from_graph("w", 0, view)
+            built = Instance.from_graph("w", 0, twin)
+            assert born.digest() == built.digest()
+
+    def test_digest_survives_pickle(self):
+        import pickle
+
+        view = random_regular(4, 30, seed=7)
+        born = Instance.from_graph("rr", 7, view)
+        clone = pickle.loads(pickle.dumps(born))
+        assert clone.digest() == born.digest()
+        assert clone._csr_born
