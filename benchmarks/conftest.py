@@ -48,7 +48,11 @@ def peak_rss_mb() -> float:
     return peak / divisor
 
 
-def write_bench_json(name: str, payload: Dict[str, Any]) -> pathlib.Path:
+def write_bench_json(
+    name: str,
+    payload: Dict[str, Any],
+    obs: Dict[str, Any] = None,
+) -> pathlib.Path:
     """Append one bench run's metrics to the bench's trajectory.
 
     ``payload`` must be JSON-serializable; it is appended as the
@@ -60,11 +64,16 @@ def write_bench_json(name: str, payload: Dict[str, Any]) -> pathlib.Path:
     ``peak_rss_mb`` (unless the payload already provides one, e.g. a
     snapshot taken before a heavier comparison run polluted the
     high-water mark).
+
+    ``obs``, when given, is a structured observability payload (a
+    :meth:`repro.obs.MetricsRegistry.snapshot` or similar) stored on
+    the entry alongside ``metrics`` — informational only, never read
+    by the regression gates.
     """
     if "peak_rss_mb" not in payload:
         payload = dict(payload)
         payload["peak_rss_mb"] = round(peak_rss_mb(), 1)
-    return append_entry(RESULTS_DIR, name, payload)
+    return append_entry(RESULTS_DIR, name, payload, obs=obs)
 
 
 def registry_specs(kind=None, distributed=None):

@@ -28,6 +28,7 @@ import networkx as nx
 
 from repro import registry
 from repro.congest.policy import BandwidthPolicy
+from repro.obs import trace as obs_trace
 from repro.registry import AlgorithmSpec, graph_delta
 from repro.results import ColoringResult
 from repro.util.tables import ascii_table
@@ -229,23 +230,33 @@ def evaluate_pair(
 ) -> ConformanceRecord:
     """Run one (algorithm, scenario) cell and check the contract."""
     record = ConformanceRecord(scenario_name, spec.name)
-    try:
-        result = spec.run(graph, seed=seed, policy=policy, backend=backend)
-    except Exception as exc:  # noqa: BLE001 - reported, not raised
-        record.raised = True
-        record.fail(f"raised {type(exc).__name__}: {exc}")
-        return record
-    _check_record(
-        record,
-        spec,
-        graph,
-        result,
-        policy,
-        check_repeatability,
-        seed,
-        backend,
-        instance=instance,
-    )
+    with obs_trace.span(
+        "conformance.pair",
+        algorithm=spec.name,
+        scenario=scenario_name,
+        seed=seed,
+    ) as sp:
+        try:
+            result = spec.run(
+                graph, seed=seed, policy=policy, backend=backend
+            )
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            record.raised = True
+            record.fail(f"raised {type(exc).__name__}: {exc}")
+            sp.annotate(passed=False, error=True)
+            return record
+        _check_record(
+            record,
+            spec,
+            graph,
+            result,
+            policy,
+            check_repeatability,
+            seed,
+            backend,
+            instance=instance,
+        )
+        sp.annotate(passed=record.ok)
     return record
 
 

@@ -64,6 +64,7 @@ from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.congest.node import NodeContext, NodeProgram
 from repro.congest.policy import BandwidthMode, BandwidthPolicy
 from repro.congest.rng import derive_ints
+from repro.obs import trace as obs_trace
 
 _EMPTY_INPUT: Dict[str, Any] = {}
 
@@ -220,9 +221,17 @@ class NetworkPlan:
     def rng_seeds(self) -> List[int]:
         """Per-node 64-bit RNG seeds, aligned with :attr:`order`."""
         if self._seeds is None:
+            rec = obs_trace.recorder()
+            trace_t0 = rec.clock() if rec is not None else 0.0
             self._seeds = derive_ints(
                 self.network._seed, "node", self.order
             )
+            if rec is not None:
+                rec.complete(
+                    "plan.bulk_rng",
+                    trace_t0,
+                    {"n": len(self._seeds)},
+                )
         return self._seeds
 
     def rngs(self) -> List[random.Random]:
@@ -415,9 +424,15 @@ class Network:
         if self._plan is None:
             from repro.exec import arrays
 
+            rec = obs_trace.recorder()
+            trace_t0 = rec.clock() if rec is not None else 0.0
             self._plan = NetworkPlan(
                 self, arrays.csr_for_graph(self.graph)
             )
+            if rec is not None:
+                rec.complete(
+                    "plan.build", trace_t0, {"n": self._plan.csr.n}
+                )
         return self._plan
 
     # -- observable end-state without materialization ------------------

@@ -51,6 +51,7 @@ from repro.congest.message import Broadcast, bit_size
 from repro.congest.metrics import RunMetrics
 from repro.congest.policy import BandwidthMode
 from repro.exec.base import ExecutionBackend
+from repro.obs import trace as obs_trace
 
 _EMPTY_INBOX: Dict[int, Any] = MappingProxyType({})
 
@@ -302,6 +303,8 @@ class FastpathBackend(ExecutionBackend):
                 raise_on_timeout=raise_on_timeout,
                 record_rounds=True,
             )
+        rec = obs_trace.recorder()
+        trace_t0 = rec.clock() if rec is not None else 0.0
         loop = GeneratorLoop(network)
         loop.run_until(
             None,
@@ -309,4 +312,16 @@ class FastpathBackend(ExecutionBackend):
             stop_when=stop_when,
             raise_on_timeout=raise_on_timeout,
         )
+        if rec is not None:
+            rec.complete(
+                "exec.run",
+                trace_t0,
+                {
+                    "backend": self.name,
+                    "rounds": loop.rounds,
+                    "messages": loop.total_messages,
+                    "bits": loop.total_bits,
+                    "halted": not loop.running,
+                },
+            )
         return loop.result()

@@ -51,6 +51,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.exec.shards import (
     ShardManifest,
     ShardRun,
@@ -252,6 +254,13 @@ class LeaseStore:
             os.fsync(fd)
         finally:
             os.close(fd)
+        obs_trace.event(
+            "fleet.claim",
+            shard=shard,
+            worker=self.worker_id,
+            takeovers=takeovers,
+        )
+        obs_metrics.registry().counter("fleet.claims").inc()
         return Lease(self, shard, token, 0, takeovers)
 
     def try_reclaim(self, shard: int) -> Optional[Lease]:
@@ -290,7 +299,17 @@ class LeaseStore:
         except FileNotFoundError:  # pragma: no cover - best effort
             pass
         self._observed.pop(shard, None)
-        return self.try_claim(shard, takeovers=takeovers + 1)
+        lease = self.try_claim(shard, takeovers=takeovers + 1)
+        if lease is not None:
+            obs_trace.event(
+                "fleet.reclaim",
+                shard=shard,
+                worker=self.worker_id,
+                previous_owner=data.get("owner"),
+                takeovers=takeovers + 1,
+            )
+            obs_metrics.registry().counter("fleet.reclaims").inc()
+        return lease
 
     def _write_atomic(self, path: str, blob: bytes) -> None:
         tmp = (
@@ -305,6 +324,13 @@ class LeaseStore:
     def _heartbeat(self, lease: Lease) -> None:
         data = self.read(lease.shard)
         if data is None or data.get("token") != lease.token:
+            obs_trace.event(
+                "fleet.lease_lost",
+                shard=lease.shard,
+                worker=self.worker_id,
+                new_owner=(data or {}).get("owner"),
+            )
+            obs_metrics.registry().counter("fleet.lease_lost").inc()
             raise LeaseLostError(
                 f"lease on shard {lease.shard} was reclaimed"
                 + (
@@ -323,6 +349,13 @@ class LeaseStore:
                 lease.takeovers,
             ),
         )
+        obs_trace.event(
+            "fleet.heartbeat",
+            shard=lease.shard,
+            worker=self.worker_id,
+            counter=lease.counter,
+        )
+        obs_metrics.registry().counter("fleet.heartbeats").inc()
 
     def _release(self, lease: Lease) -> None:
         data = self.read(lease.shard)
@@ -331,6 +364,12 @@ class LeaseStore:
                 os.unlink(self.lease_path(lease.shard))
             except FileNotFoundError:  # pragma: no cover
                 pass
+            obs_trace.event(
+                "fleet.release",
+                shard=lease.shard,
+                worker=self.worker_id,
+            )
+            obs_metrics.registry().counter("fleet.releases").inc()
         self._observed.pop(lease.shard, None)
 
 
@@ -627,6 +666,50 @@ def fleet_status(
 # CLI
 
 
+def _report_record(report: FleetWorkerReport) -> Dict:
+    """The worker report as a structured (JSON-ready) record."""
+    return {
+        "event": "worker_done",
+        "worker_id": report.worker_id,
+        "claimed": report.claimed,
+        "reclaimed": report.reclaimed,
+        "completed": report.completed,
+        "lost": report.lost,
+        "executed": report.executed,
+        "resumed": report.resumed,
+    }
+
+
+def _status_record(rows: List[ShardLeaseStatus]) -> Dict:
+    """Per-shard status as a structured (JSON-ready) record."""
+    return {
+        "event": "fleet_status",
+        "complete": all(r.state == "complete" for r in rows),
+        "shards": [
+            {
+                "shard": row.shard,
+                "done": row.done,
+                "total": row.total,
+                "damaged": row.damaged,
+                "state": row.state,
+                "owner": row.owner,
+                "counter": row.counter,
+                "takeovers": row.takeovers,
+            }
+            for row in rows
+        ],
+    }
+
+
+def _emit(record: Dict, as_json: bool, human: str) -> None:
+    """One output record: the structured form under ``--json``, the
+    human rendering otherwise."""
+    if as_json:
+        print(json.dumps(record, sort_keys=True))
+    else:
+        print(human)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     import argparse
     import hashlib
@@ -673,6 +756,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="return when nothing is claimable instead of lingering",
     )
+    work.add_argument(
+        "--trace-dir",
+        default=None,
+        help=(
+            "write a repro.obs trace (per-process file in this "
+            "directory; render with python -m repro.obs)"
+        ),
+    )
 
     status_p = sub.add_parser(
         "status", help="per-shard checkpoint + lease state"
@@ -685,6 +776,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     merge_p.add_argument("checkpoint_dir")
 
+    for cmd in (work, status_p, merge_p):
+        cmd.add_argument(
+            "--json",
+            action="store_true",
+            help="emit structured JSON records instead of prose",
+        )
+
     args = parser.parse_args(argv)
     manifest = ShardManifest.load(args.checkpoint_dir)
 
@@ -694,6 +792,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             poll_interval=args.poll_interval,
             max_takeovers=args.max_takeovers,
         )
+        rec = None
+        if args.trace_dir:
+            rec = obs_trace.enable(
+                args.trace_dir,
+                worker=args.worker_id or default_worker_id(),
+            )
         try:
             report = run_fleet_worker(
                 manifest,
@@ -706,31 +810,71 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 throttle=args.throttle,
             )
         except FleetTimeoutError as exc:
-            print(exc)
+            _emit(
+                {"event": "worker_timeout", "error": str(exc)},
+                args.json,
+                str(exc),
+            )
             return 4
-        print(report.summary())
+        finally:
+            if rec is not None:
+                obs_metrics.sample_peak_rss()
+                rec.metrics(obs_metrics.registry().snapshot())
+                obs_trace.disable()
+        _emit(_report_record(report), args.json, report.summary())
         return 0
 
     if args.command == "status":
         rows = fleet_status(manifest, args.checkpoint_dir)
-        for row in rows:
-            lease = (
-                f" lease={row.owner} counter={row.counter} "
-                f"takeovers={row.takeovers}"
-                if row.state == "leased"
-                else ""
-            )
-            damaged = " DAMAGED" if row.damaged else ""
-            print(
-                f"shard {row.shard}: {row.done}/{row.total} "
-                f"{row.state}{damaged}{lease}"
-            )
-        return 0 if all(r.state == "complete" for r in rows) else 3
+        record = _status_record(rows)
+        if args.json:
+            print(json.dumps(record, sort_keys=True))
+        else:
+            for row in rows:
+                lease = (
+                    f" lease={row.owner} counter={row.counter} "
+                    f"takeovers={row.takeovers}"
+                    if row.state == "leased"
+                    else ""
+                )
+                damaged = " DAMAGED" if row.damaged else ""
+                print(
+                    f"shard {row.shard}: {row.done}/{row.total} "
+                    f"{row.state}{damaged}{lease}"
+                )
+        return 0 if record["complete"] else 3
 
     result = merge_shards(manifest, args.checkpoint_dir)
     digest = hashlib.sha256(result.fingerprint()).hexdigest()
-    print(f"fingerprint sha256: {digest}")
-    print(f"aggregate: {result.aggregate_metrics().summary()}")
+    aggregate = result.aggregate_metrics()
+    record = {
+        "event": "merge_done",
+        "fingerprint_sha256": digest,
+        "aggregate": {
+            "rounds": aggregate.rounds,
+            "total_messages": aggregate.total_messages,
+            "total_bits": aggregate.total_bits,
+            "max_message_bits": aggregate.max_message_bits,
+            "violations": aggregate.violations,
+        },
+        "cache": (
+            result.cache_stats.snapshot()
+            if result.cache_stats is not None
+            else None
+        ),
+    }
+    if args.json:
+        print(json.dumps(record, sort_keys=True))
+    else:
+        print(f"fingerprint sha256: {digest}")
+        print(f"aggregate: {aggregate.summary()}")
+        if result.cache_stats is not None:
+            stats = result.cache_stats
+            print(
+                f"cache: hits={stats.hits} misses={stats.misses} "
+                f"csr_builds={stats.csr_builds} "
+                f"square_builds={stats.square_builds}"
+            )
     return 0
 
 

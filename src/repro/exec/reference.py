@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, Optional
 from repro.congest.errors import NonterminationError
 from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.exec.base import ExecutionBackend
+from repro.obs import trace as obs_trace
 
 _EMPTY_INBOX: Dict[int, Any] = MappingProxyType({})
 
@@ -43,6 +44,9 @@ class ReferenceBackend(ExecutionBackend):
         record_rounds: bool = False,
     ):
         from repro.congest.network import RunResult
+
+        rec = obs_trace.recorder()
+        trace_t0 = rec.clock() if rec is not None else 0.0
 
         metrics = RunMetrics(budget_bits=network._budget)
         running = dict(network._generators)
@@ -98,6 +102,18 @@ class ReferenceBackend(ExecutionBackend):
                     metrics.per_round.append(round_metrics)
             round_index += 1
 
+        if rec is not None:
+            rec.complete(
+                "exec.run",
+                trace_t0,
+                {
+                    "backend": self.name,
+                    "rounds": metrics.rounds,
+                    "messages": metrics.total_messages,
+                    "bits": metrics.total_bits,
+                    "halted": not running,
+                },
+            )
         return RunResult(
             outputs=dict(network.outputs),
             metrics=metrics,

@@ -40,6 +40,8 @@ from typing import (
 
 from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.congest.policy import BandwidthMode, BandwidthPolicy
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.exec.sweep import (
     CellResult,
     SweepCell,
@@ -322,6 +324,42 @@ def checkpoint_path(checkpoint_dir: str, shard: int) -> str:
     return os.path.join(checkpoint_dir, f"shard_{shard}.jsonl")
 
 
+def stats_path(checkpoint_dir: str, shard: int) -> str:
+    """Cache-activity sidecar of a shard checkpoint.  Kept out of the
+    result JSONL on purpose: non-result records there would read as
+    damage to :func:`_read_checkpoint` and trigger repairs."""
+    return os.path.join(checkpoint_dir, f"shard_{shard}.stats.json")
+
+
+def _read_stats(path: str) -> Dict[str, int]:
+    """The sidecar's counters, ``{}`` when absent or damaged (stats
+    are advisory — a torn sidecar must never block a merge)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict):
+            return {}
+        return {
+            key: int(value)
+            for key, value in data.items()
+            if isinstance(value, (int, float))
+        }
+    except (OSError, ValueError):
+        return {}
+
+
+def _write_stats(path: str, data: Dict[str, int]) -> None:
+    """Atomic sidecar write (same temp + fsync + replace pattern as
+    the manifest), so a kill mid-write leaves the previous version."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, separators=(",", ":"), sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
 def _read_checkpoint(
     path: str, grid_digest: str, owned: Optional[Sequence[int]] = None
 ) -> Tuple[Dict[int, CellResult], bool]:
@@ -461,35 +499,61 @@ def run_shard(
         manifest.grid_digest,
         owned=manifest.shard_indices(shard),
     )
+    reg = obs_metrics.registry()
     if damaged:
         _repair_checkpoint(path, done, manifest.grid_digest)
+        obs_trace.event("shard.repair", shard=shard, kept=len(done))
+        reg.counter("shard.repairs").inc()
     pending = [(i, cell) for i, cell in owned if i not in done]
-    # One build per referenced instance, shared by every pending cell
-    # — skipped entirely when a fleet driver already prebuilt the
-    # whole manifest into this process's cache (prebuild_tag).
     from repro.workloads import instance_cache
 
-    if not instance_cache().was_prewarmed(prebuild_tag(manifest)):
-        prebuild_instances(
-            [cell for _, cell in pending],
-            prewarm_csr=(manifest.inner == "vectorized"),
-        )
+    cache = instance_cache()
+    stats_baseline = cache.stats.snapshot()
     executed = 0
-    with open(path, "a", encoding="utf-8") as handle:
-        for index, cell in pending:
-            if max_cells is not None and executed >= max_cells:
-                break
-            result = run_cell(cell, inner=manifest.inner)
-            handle.write(
-                _checkpoint_record(
-                    index, result, manifest.grid_digest
-                )
+    with obs_trace.span(
+        "shard.run",
+        shard=shard,
+        total=len(owned),
+        resumed=len(done),
+    ) as sp:
+        # One build per referenced instance, shared by every pending
+        # cell — skipped entirely when a fleet driver already prebuilt
+        # the whole manifest into this process's cache (prebuild_tag).
+        if not cache.was_prewarmed(prebuild_tag(manifest)):
+            prebuild_instances(
+                [cell for _, cell in pending],
+                prewarm_csr=(manifest.inner == "vectorized"),
             )
-            handle.write("\n")
-            handle.flush()
-            executed += 1
-            if on_cell is not None:
-                on_cell(index, result)
+        with open(path, "a", encoding="utf-8") as handle:
+            for index, cell in pending:
+                if max_cells is not None and executed >= max_cells:
+                    break
+                result = run_cell(cell, inner=manifest.inner)
+                handle.write(
+                    _checkpoint_record(
+                        index, result, manifest.grid_digest
+                    )
+                )
+                handle.write("\n")
+                handle.flush()
+                executed += 1
+                if on_cell is not None:
+                    on_cell(index, result)
+        sp.annotate(executed=executed)
+    reg.counter("shard.cells_resumed").inc(len(done))
+    reg.counter("shard.cells_executed").inc(executed)
+    # Cache activity of this invocation, accumulated into the shard's
+    # sidecar (cumulative across resumes) for merge_shards to pick up.
+    delta = cache.stats.delta(stats_baseline).snapshot()
+    sidecar = stats_path(checkpoint_dir, shard)
+    previous = _read_stats(sidecar)
+    _write_stats(
+        sidecar,
+        {
+            key: previous.get(key, 0) + value
+            for key, value in delta.items()
+        },
+    )
     return ShardRun(
         shard=shard,
         total=len(owned),
@@ -575,8 +639,28 @@ def merge_shards(
             f"checkpointed result (first missing: {missing[:5]}); "
             "run the remaining shards before merging"
         )
+    # Sum the per-shard cache-activity sidecars (advisory: absent or
+    # torn sidecars contribute nothing and never block the merge).
+    cache_stats = None
+    for shard in range(manifest.num_shards):
+        data = _read_stats(stats_path(checkpoint_dir, shard))
+        if data:
+            from repro.workloads.cache import CacheStats
+
+            if cache_stats is None:
+                cache_stats = CacheStats()
+            cache_stats.add(
+                CacheStats(
+                    hits=data.get("hits", 0),
+                    misses=data.get("misses", 0),
+                    builds=data.get("builds", 0),
+                    square_builds=data.get("square_builds", 0),
+                    csr_builds=data.get("csr_builds", 0),
+                )
+            )
     return SweepResult(
-        cells=[results[i] for i in range(len(manifest.cells))]
+        cells=[results[i] for i in range(len(manifest.cells))],
+        cache_stats=cache_stats,
     )
 
 

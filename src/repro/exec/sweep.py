@@ -48,6 +48,7 @@ import networkx as nx
 from repro.congest.metrics import RunMetrics
 from repro.congest.policy import BandwidthPolicy
 from repro.exec.base import ExecutionBackend
+from repro.obs import trace as obs_trace
 
 #: Admissible ``executor`` values for :class:`SweepBackend`.
 EXECUTORS = ("serial", "thread", "process")
@@ -187,6 +188,12 @@ class SweepResult:
     """All cell results of one grid execution, in submission order."""
 
     cells: List[CellResult] = field(default_factory=list)
+    #: Instance-cache activity attributed to this sweep (hits, misses,
+    #: csr/square builds) — filled by :meth:`SweepBackend.run_grid`
+    #: and shard merging; ``None`` for hand-assembled results.
+    #: Deliberately excluded from :meth:`fingerprint`: cache hit/miss
+    #: patterns depend on what ran before, not on the grid's outcome.
+    cache_stats: Optional[Any] = None
 
     @property
     def failures(self) -> List[CellResult]:
@@ -197,10 +204,18 @@ class SweepResult:
         return not self.failures
 
     def aggregate_metrics(self) -> RunMetrics:
-        """Merge every cell's :class:`RunMetrics` (rounds add up)."""
+        """Merge every cell's :class:`RunMetrics` (rounds add up).
+
+        When cache activity was recorded (:attr:`cache_stats`), the
+        returned object additionally carries it as a plain
+        ``cache_stats`` attribute — *not* a dataclass field, so the
+        metrics ``repr`` (and every fingerprint built from it) is
+        byte-identical with and without observability."""
         merged = RunMetrics()
         for cell in self.cells:
             merged = merged.merge(cell.metrics)
+        if self.cache_stats is not None:
+            merged.cache_stats = self.cache_stats
         return merged
 
     def fingerprint(self) -> bytes:
@@ -231,6 +246,24 @@ def run_cell(cell: SweepCell, inner: str = "fastpath") -> CellResult:
     """
     from repro import registry
 
+    rec = obs_trace.recorder()
+    trace_t0 = rec.clock() if rec is not None else 0.0
+
+    def traced(cell_result: CellResult) -> CellResult:
+        if rec is not None:
+            attrs = {
+                "algorithm": cell.algorithm,
+                "scenario": cell.scenario,
+                "seed": cell.seed,
+                "rounds": cell_result.rounds,
+                "messages": cell_result.metrics.total_messages,
+                "bits": cell_result.metrics.total_bits,
+            }
+            if cell_result.error is not None:
+                attrs["error"] = cell_result.error
+            rec.complete("sweep.cell", trace_t0, attrs)
+        return cell_result
+
     try:
         spec = registry.get_algorithm(cell.algorithm)
         graph = cell.graph()
@@ -238,21 +271,25 @@ def run_cell(cell: SweepCell, inner: str = "fastpath") -> CellResult:
             graph, seed=cell.seed, policy=cell.policy, backend=inner
         )
     except Exception as exc:  # noqa: BLE001 - reported per cell
-        return CellResult(
+        return traced(
+            CellResult(
+                algorithm=cell.algorithm,
+                scenario=cell.scenario,
+                seed=cell.seed,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        )
+    return traced(
+        CellResult(
             algorithm=cell.algorithm,
             scenario=cell.scenario,
             seed=cell.seed,
-            error=f"{type(exc).__name__}: {exc}",
+            colors_used=result.colors_used,
+            palette_size=result.palette_size,
+            rounds=result.rounds,
+            metrics=result.metrics,
+            coloring=tuple(sorted(result.coloring.items())),
         )
-    return CellResult(
-        algorithm=cell.algorithm,
-        scenario=cell.scenario,
-        seed=cell.seed,
-        colors_used=result.colors_used,
-        palette_size=result.palette_size,
-        rounds=result.rounds,
-        metrics=result.metrics,
-        coloring=tuple(sorted(result.coloring.items())),
     )
 
 
@@ -399,15 +436,34 @@ class SweepBackend(ExecutionBackend):
         parent and shared with the workers (shipped prebuilt for
         process pools; via the common cache otherwise).
         """
-        instances = prebuild_instances(
-            cells,
-            prewarm_square=prewarm_square,
-            prewarm_csr=(self.inner == "vectorized"),
-        )
-        results = self.map(
-            _CellRunner(self.inner), cells, instances=instances
-        )
-        return SweepResult(cells=results)
+        from repro.workloads import instance_cache
+
+        cache = instance_cache()
+        baseline = cache.stats.snapshot()
+        with obs_trace.span(
+            "sweep.grid",
+            cells=len(cells),
+            inner=self.inner,
+            executor=self.executor,
+        ) as sp:
+            with obs_trace.span("sweep.prebuild"):
+                instances = prebuild_instances(
+                    cells,
+                    prewarm_square=prewarm_square,
+                    prewarm_csr=(self.inner == "vectorized"),
+                )
+            results = self.map(
+                _CellRunner(self.inner), cells, instances=instances
+            )
+            errors = sum(1 for c in results if not c.ok)
+            sp.annotate(errors=errors)
+        # The cache activity this grid caused in *this* process
+        # (prebuild + serial/thread cells; process-pool workers keep
+        # their own caches).  Published as counters and attached to
+        # the result — never part of the fingerprint.
+        delta = cache.stats.delta(baseline)
+        delta.publish()
+        return SweepResult(cells=results, cache_stats=delta)
 
 
 class _CellRunner:

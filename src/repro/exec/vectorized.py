@@ -68,6 +68,7 @@ from repro.det.locally_iterative import LocallyIterativeProgram
 from repro.det.part_d2coloring import PartLocallyIterativeD2
 from repro.exec.base import ExecutionBackend
 from repro.exec.fastpath import PAUSED, GeneratorLoop
+from repro.obs import trace as obs_trace
 
 try:  # numpy/scipy are required deps, but degrade gracefully without
     import numpy as np
@@ -137,6 +138,8 @@ class VectorizedBackend(ExecutionBackend):
         raise_on_timeout: bool = True,
         record_rounds: bool = False,
     ):
+        rec = obs_trace.recorder()
+        fallback_cause = None
         if np is not None and not record_rounds and not network._started:
             kernel = None
             if network.materialized:
@@ -147,11 +150,16 @@ class VectorizedBackend(ExecutionBackend):
                     }
                     if len(classes) == 1:
                         kernel = KERNELS.get(classes.pop())
+                    else:
+                        fallback_cause = "mixed-programs"
+                else:
+                    fallback_cause = "partial-generators"
             elif isinstance(network.program_factory, type):
                 # Unmaterialized + class factory: dispatch without
                 # building a single Python node.
                 kernel = KERNELS.get(network.program_factory)
             if kernel is not None:
+                trace_t0 = rec.clock() if rec is not None else 0.0
                 result = kernel(
                     network,
                     max_rounds=max_rounds,
@@ -159,7 +167,30 @@ class VectorizedBackend(ExecutionBackend):
                     raise_on_timeout=raise_on_timeout,
                 )
                 if result is not None:
+                    if rec is not None:
+                        rec.complete(
+                            "exec.kernel",
+                            trace_t0,
+                            {
+                                "kernel": kernel.__name__,
+                                "rounds": result.metrics.rounds,
+                                "messages": result.metrics.total_messages,
+                                "bits": result.metrics.total_bits,
+                            },
+                        )
                     return result
+                fallback_cause = "kernel-declined"
+            elif fallback_cause is None:
+                fallback_cause = "no-kernel"
+        elif fallback_cause is None:
+            if np is None:
+                fallback_cause = "no-numpy"
+            elif record_rounds:
+                fallback_cause = "record-rounds"
+            else:
+                fallback_cause = "already-started"
+        if rec is not None:
+            rec.event("exec.fallback", {"cause": fallback_cause})
         from repro.exec import get_backend
 
         return get_backend("fastpath").execute(
@@ -286,6 +317,8 @@ def _run_try_phases(
     same order as the round loop (stop monitor, then ``max_rounds``,
     then the window bound).
     """
+    rec = obs_trace.recorder()
+    trace_t0 = rec.clock() if rec is not None else 0.0
     colors = st.colors
     announced = st.announced
     adopt_iter = st.adopt_iter
@@ -381,6 +414,17 @@ def _run_try_phases(
             adopt_iter[adopt_idx] = r
         rounds += 1
         r += 1
+    if rec is not None:
+        rec.complete(
+            "kernel.try_phases",
+            trace_t0,
+            {
+                "start_round": start_round,
+                "end_round": r,
+                "rounds": rounds,
+                "status": break_status,
+            },
+        )
     return r, rounds, break_status
 
 

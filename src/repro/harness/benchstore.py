@@ -44,6 +44,11 @@ SCHEMA_VERSION = 2
 #: gate skips them rather than flagging a 0.4ms -> 1ms "regression".
 MIN_GATED_SECONDS = 0.005
 
+#: RSS readings below this are interpreter baseline wobble (allocator
+#: arenas, import order), not a workload regression — the RSS gate
+#: skips them the same way the seconds gate skips timer noise.
+MIN_GATED_RSS_MB = 64.0
+
 
 def current_commit(cwd: Optional[str] = None) -> str:
     """The short git head, or ``"unknown"`` outside a checkout."""
@@ -111,22 +116,30 @@ def append_entry(
     commit: Optional[str] = None,
     timestamp: Optional[str] = None,
     max_entries: int = 100,
+    obs: Optional[Dict[str, Any]] = None,
 ) -> pathlib.Path:
     """Append one ``{commit, timestamp, metrics}`` record to
     ``<results_dir>/BENCH_<name>.json`` (atomically: temp file +
     ``os.replace``).  A repeat run on the same commit replaces that
-    commit's latest entry instead of stacking duplicates."""
+    commit's latest entry instead of stacking duplicates.
+
+    ``obs``, when given, is a structured observability payload (a
+    :meth:`repro.obs.MetricsRegistry.snapshot` or similar) stored
+    under the entry's ``"obs"`` key — carried alongside, never gated:
+    the regression gates only read ``"metrics"``."""
     import os
 
     results_dir = pathlib.Path(results_dir)
     results_dir.mkdir(exist_ok=True)
     path = results_dir / f"BENCH_{name}.json"
     payload = load_payload(path, name)
-    entry = {
+    entry: Dict[str, Any] = {
         "commit": commit or current_commit(cwd=str(results_dir)),
         "timestamp": timestamp or current_timestamp(),
         "metrics": metrics,
     }
+    if obs is not None:
+        entry["obs"] = obs
     entries: List[Dict] = payload["entries"]
     if entries and entries[-1].get("commit") == entry["commit"]:
         entries[-1] = entry
@@ -167,32 +180,77 @@ def _flatten_seconds(
     return out
 
 
-def check_trajectory(
-    payload: Dict[str, Any],
-    max_ratio: float = 2.0,
-    min_seconds: float = MIN_GATED_SECONDS,
+def _flatten_rss(metrics: Any, prefix: str = "") -> Dict[str, float]:
+    """Dotted-key map of every numeric ``*rss_mb*`` metric, however
+    deeply nested (``peak_rss_mb`` and friends)."""
+    out: Dict[str, float] = {}
+    if isinstance(metrics, dict):
+        for key, value in metrics.items():
+            dotted = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, dict):
+                out.update(_flatten_rss(value, dotted))
+            elif (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and "rss_mb" in str(key)
+            ):
+                out[dotted] = float(value)
+    return out
+
+
+def _gate(
+    previous: Dict[str, float],
+    latest: Dict[str, float],
+    max_ratio: float,
+    floor: float,
 ) -> List[Tuple[str, float, float, float]]:
-    """Violations ``(metric, previous, latest, ratio)`` where the
-    newest entry is more than ``max_ratio`` times slower than the
-    previous recorded entry.  Trajectories with fewer than two
-    entries, metrics missing from either side, and readings below
-    ``min_seconds`` (timer noise) are all ungated."""
-    entries = payload.get("entries", [])
-    if len(entries) < 2:
-        return []
-    previous = _flatten_seconds(entries[-2].get("metrics", {}))
-    latest = _flatten_seconds(entries[-1].get("metrics", {}))
+    """The shared ratio gate: flag keys whose latest reading exceeds
+    ``max_ratio`` times the previous one, skipping readings where both
+    sides sit under the noise ``floor``."""
     violations = []
     for key, before in previous.items():
         after = latest.get(key)
         if after is None:
             continue
-        if before < min_seconds and after < min_seconds:
+        if before < floor and after < floor:
             continue
-        baseline = max(before, min_seconds)
+        baseline = max(before, floor)
         ratio = after / baseline
         if ratio > max_ratio:
             violations.append((key, before, after, ratio))
+    return violations
+
+
+def check_trajectory(
+    payload: Dict[str, Any],
+    max_ratio: float = 2.0,
+    min_seconds: float = MIN_GATED_SECONDS,
+    min_mb: float = MIN_GATED_RSS_MB,
+) -> List[Tuple[str, float, float, float]]:
+    """Violations ``(metric, previous, latest, ratio)`` where the
+    newest entry is more than ``max_ratio`` times worse than the
+    previous recorded entry — for every ``*seconds*`` metric (wall
+    time) and every ``*rss_mb*`` metric (peak memory).  Trajectories
+    with fewer than two entries, metrics missing from either side,
+    and readings below the per-kind noise floor (``min_seconds`` /
+    ``min_mb``) are all ungated."""
+    entries = payload.get("entries", [])
+    if len(entries) < 2:
+        return []
+    before_metrics = entries[-2].get("metrics", {})
+    after_metrics = entries[-1].get("metrics", {})
+    violations = _gate(
+        _flatten_seconds(before_metrics),
+        _flatten_seconds(after_metrics),
+        max_ratio,
+        min_seconds,
+    )
+    violations += _gate(
+        _flatten_rss(before_metrics),
+        _flatten_rss(after_metrics),
+        max_ratio,
+        min_mb,
+    )
     return violations
 
 
@@ -200,6 +258,7 @@ def check_results_dir(
     results_dir: pathlib.Path,
     max_ratio: float = 2.0,
     min_seconds: float = MIN_GATED_SECONDS,
+    min_mb: float = MIN_GATED_RSS_MB,
 ) -> Dict[str, List[Tuple[str, float, float, float]]]:
     """Gate every ``BENCH_*.json`` under ``results_dir``; returns
     ``{bench name: violations}`` for the benches that regressed."""
@@ -211,6 +270,7 @@ def check_results_dir(
             load_payload(path, name),
             max_ratio=max_ratio,
             min_seconds=min_seconds,
+            min_mb=min_mb,
         )
         if violations:
             failures[name] = violations
@@ -235,6 +295,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     check.add_argument("--max-ratio", type=float, default=2.0)
     check.add_argument(
         "--min-seconds", type=float, default=MIN_GATED_SECONDS
+    )
+    check.add_argument(
+        "--min-mb",
+        type=float,
+        default=MIN_GATED_RSS_MB,
+        help="RSS noise floor in MiB for the rss_mb gate",
     )
     show = sub.add_parser("show", help="print each trajectory")
     show.add_argument("results_dir")
@@ -261,12 +327,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         results_dir,
         max_ratio=args.max_ratio,
         min_seconds=args.min_seconds,
+        min_mb=args.min_mb,
     )
     for name, violations in failures.items():
         for key, before, after, ratio in violations:
+            unit = "MB" if "rss_mb" in key else "s"
             print(
-                f"REGRESSION {name}.{key}: {before:.4f}s -> "
-                f"{after:.4f}s ({ratio:.2f}x > {args.max_ratio}x)"
+                f"REGRESSION {name}.{key}: {before:.4f}{unit} -> "
+                f"{after:.4f}{unit} ({ratio:.2f}x > {args.max_ratio}x)"
             )
     if failures:
         return 1

@@ -1,0 +1,67 @@
+"""repro.obs — unified tracing, metrics, and profiling hooks.
+
+Three layers (see ``docs/OBSERVABILITY.md``):
+
+- :mod:`repro.obs.trace` — nested spans and point events to
+  append-only JSONL, zero-overhead when no recorder is installed;
+- :mod:`repro.obs.metrics` — the process-global registry of typed
+  counters/gauges/timers every subsystem publishes into;
+- :mod:`repro.obs.report` — aggregation of read traces into the
+  tables ``python -m repro.obs`` renders.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+    merge_snapshots,
+    peak_rss_mb,
+    registry,
+    sample_peak_rss,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NullRecorder,
+    Span,
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    disable,
+    enable,
+    event,
+    iter_spans,
+    read_trace,
+    recorder,
+    span,
+    trace_file_path,
+    tracing_active,
+    use_recorder,
+    validate_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NullRecorder",
+    "Span",
+    "TRACE_SCHEMA_VERSION",
+    "Timer",
+    "TraceRecorder",
+    "disable",
+    "enable",
+    "event",
+    "iter_spans",
+    "merge_snapshots",
+    "peak_rss_mb",
+    "read_trace",
+    "recorder",
+    "registry",
+    "sample_peak_rss",
+    "span",
+    "trace_file_path",
+    "tracing_active",
+    "use_recorder",
+    "validate_trace",
+]

@@ -1,0 +1,237 @@
+"""Render read traces into the summary tables the CLI prints.
+
+Pure functions over the record lists produced by
+:func:`repro.obs.trace.read_trace`: aggregation here never re-opens
+files, so the same helpers serve the CLI, tests, and any later
+results-platform consumer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import merge_snapshots
+from repro.obs.trace import iter_spans
+from repro.util.tables import ascii_table
+
+
+def merged_metrics(records: List[Dict]) -> Dict[str, Any]:
+    """All ``metrics`` records of a trace folded into one snapshot
+    (counters add, gauges max, timers combine)."""
+    return merge_snapshots(
+        *(
+            r.get("data", {})
+            for r in records
+            if r.get("kind") == "metrics"
+        )
+    )
+
+
+def span_rollup(records: List[Dict]) -> Dict[str, Dict[str, Any]]:
+    """Per-span-name aggregates over completed spans: count, total /
+    max wall seconds, and the sums of the numeric result attrs the
+    instrumentation annotates (``rounds``, ``messages``, ``bits``,
+    ``cells``, ``errors``)."""
+    rollup: Dict[str, Dict[str, Any]] = {}
+    for record in iter_spans(records):
+        name = record.get("name", "?")
+        entry = rollup.setdefault(
+            name,
+            {
+                "count": 0,
+                "wall": 0.0,
+                "max_wall": 0.0,
+                "rounds": 0,
+                "messages": 0,
+                "bits": 0,
+                "errors": 0,
+            },
+        )
+        entry["count"] += 1
+        dur = float(record.get("dur", 0.0))
+        entry["wall"] += dur
+        if dur > entry["max_wall"]:
+            entry["max_wall"] = dur
+        attrs = record.get("attrs") or {}
+        for key in ("rounds", "messages", "bits"):
+            value = attrs.get(key)
+            if isinstance(value, (int, float)):
+                entry[key] += int(value)
+        if "error" in attrs:
+            entry["errors"] += 1
+    return rollup
+
+
+def event_rollup(records: List[Dict]) -> Dict[str, int]:
+    """``{event name: count}`` over the trace."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        if record.get("kind") == "event":
+            name = record.get("name", "?")
+            counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def render_summary(records: List[Dict]) -> str:
+    """The ``summary`` view: span rollup + event counts + merged
+    registry counters."""
+    out: List[str] = []
+    rollup = span_rollup(records)
+    if rollup:
+        out.append("spans:")
+        out.append(
+            ascii_table(
+                ["span", "count", "wall_s", "max_s", "errors"],
+                [
+                    [
+                        name,
+                        entry["count"],
+                        round(entry["wall"], 4),
+                        round(entry["max_wall"], 4),
+                        entry["errors"],
+                    ]
+                    for name, entry in sorted(rollup.items())
+                ],
+            )
+        )
+    events = event_rollup(records)
+    if events:
+        out.append("events:")
+        out.append(
+            ascii_table(
+                ["event", "count"],
+                [[name, n] for name, n in sorted(events.items())],
+            )
+        )
+    snapshot = merged_metrics(records)
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    if counters or gauges:
+        out.append("metrics:")
+        rows = [[name, value] for name, value in counters.items()]
+        rows += [
+            [name, round(value, 2)] for name, value in gauges.items()
+        ]
+        out.append(ascii_table(["metric", "value"], rows))
+    if not out:
+        return "empty trace"
+    return "\n".join(out)
+
+
+def render_phases(records: List[Dict]) -> str:
+    """The ``phases`` view: per-span-name wall / rounds / messages /
+    bits — the comparable round/bandwidth accounting per phase."""
+    rollup = span_rollup(records)
+    if not rollup:
+        return "no spans in trace"
+    return ascii_table(
+        ["phase", "count", "wall_s", "rounds", "messages", "bits"],
+        [
+            [
+                name,
+                entry["count"],
+                round(entry["wall"], 4),
+                entry["rounds"],
+                entry["messages"],
+                entry["bits"],
+            ]
+            for name, entry in sorted(rollup.items())
+        ],
+    )
+
+
+def cache_breakdown(
+    records: List[Dict],
+) -> Optional[Dict[str, Any]]:
+    """The ``cache.*`` counters of the merged snapshot plus a derived
+    hit rate, or ``None`` when the trace recorded no cache metrics."""
+    counters = merged_metrics(records).get("counters", {})
+    cache = {
+        name.split(".", 1)[1]: value
+        for name, value in counters.items()
+        if name.startswith("cache.")
+    }
+    if not cache:
+        return None
+    hits = cache.get("hits", 0)
+    misses = cache.get("misses", 0)
+    lookups = hits + misses
+    cache["hit_rate"] = (
+        round(hits / lookups, 4) if lookups else 0.0
+    )
+    return cache
+
+
+def render_cache(records: List[Dict]) -> str:
+    cache = cache_breakdown(records)
+    if cache is None:
+        return "no cache metrics in trace"
+    return ascii_table(
+        ["cache metric", "value"],
+        [[name, value] for name, value in sorted(cache.items())],
+    )
+
+
+def fleet_rollup(
+    records: List[Dict],
+) -> List[Tuple[Any, Dict[str, int]]]:
+    """Per-shard fleet lease activity from ``fleet.*`` events:
+    claims, reclaims, heartbeats, releases, losses."""
+    shards: Dict[Any, Dict[str, int]] = {}
+    for record in records:
+        if record.get("kind") != "event":
+            continue
+        name = record.get("name", "")
+        if not name.startswith("fleet."):
+            continue
+        attrs = record.get("attrs") or {}
+        shard = attrs.get("shard", "?")
+        entry = shards.setdefault(
+            shard,
+            {
+                "claims": 0,
+                "reclaims": 0,
+                "heartbeats": 0,
+                "releases": 0,
+                "lost": 0,
+            },
+        )
+        key = {
+            "fleet.claim": "claims",
+            "fleet.reclaim": "reclaims",
+            "fleet.heartbeat": "heartbeats",
+            "fleet.release": "releases",
+            "fleet.lease_lost": "lost",
+        }.get(name)
+        if key is not None:
+            entry[key] += 1
+    return sorted(
+        shards.items(), key=lambda item: (str(item[0]), item[0] is None)
+    )
+
+
+def render_fleet(records: List[Dict]) -> str:
+    rollup = fleet_rollup(records)
+    if not rollup:
+        return "no fleet events in trace"
+    return ascii_table(
+        [
+            "shard",
+            "claims",
+            "reclaims",
+            "heartbeats",
+            "releases",
+            "lost",
+        ],
+        [
+            [
+                shard,
+                entry["claims"],
+                entry["reclaims"],
+                entry["heartbeats"],
+                entry["releases"],
+                entry["lost"],
+            ]
+            for shard, entry in rollup
+        ],
+    )

@@ -544,6 +544,39 @@ class CacheStats:
             "csr_builds": self.csr_builds,
         }
 
+    def delta(self, baseline: Dict[str, int]) -> "CacheStats":
+        """The activity since ``baseline`` (a prior :meth:`snapshot`)
+        as a fresh :class:`CacheStats` — what a sweep attributes to
+        itself when the cache is shared across runs."""
+        current = self.snapshot()
+        return CacheStats(
+            **{
+                name: current[name] - baseline.get(name, 0)
+                for name in current
+            }
+        )
+
+    def add(self, other: "CacheStats") -> None:
+        """Accumulate another stats object into this one (shard
+        merge)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.builds += other.builds
+        self.square_builds += other.square_builds
+        self.csr_builds += other.csr_builds
+
+    def publish(self, target=None, prefix: str = "cache") -> None:
+        """Add the counters into a metrics registry (the process
+        global by default) under ``<prefix>.<counter>`` names.  Like
+        :meth:`RunMetrics.publish`, additive per call — publish deltas
+        (:meth:`delta`) when sampling a long-lived cache repeatedly."""
+        from repro.obs.metrics import registry
+
+        reg = target if target is not None else registry()
+        for name, value in self.snapshot().items():
+            if value:
+                reg.counter(f"{prefix}.{name}").inc(value)
+
 
 class InstanceCache:
     """Memoizing store of built :class:`Instance` objects.

@@ -208,3 +208,108 @@ class TestDirGateAndCLI:
         )
         payload = load_payload(path, "demo")
         assert payload["entries"][0]["metrics"] == _metrics(0.1)
+
+
+class TestRssGate:
+    """The memory half of the trajectory gate: ``*rss_mb*`` metrics
+    are flagged on >max-ratio growth above the MiB noise floor; obs
+    payloads ride along ungated."""
+
+    def _payload(self, *rss):
+        return {
+            "schema": SCHEMA_VERSION,
+            "bench": "demo",
+            "entries": [
+                {
+                    "commit": f"c{k}",
+                    "timestamp": None,
+                    "metrics": {"peak_rss_mb": mb},
+                }
+                for k, mb in enumerate(rss)
+            ],
+        }
+
+    def test_over_2x_rss_growth_is_flagged(self):
+        violations = check_trajectory(self._payload(100.0, 210.0))
+        assert len(violations) == 1
+        key, before, after, ratio = violations[0]
+        assert key == "peak_rss_mb"
+        assert (before, after) == (100.0, 210.0)
+        assert ratio == pytest.approx(2.1)
+
+    def test_within_budget_passes(self):
+        assert check_trajectory(self._payload(100.0, 199.0)) == []
+
+    def test_below_the_mib_floor_is_noise(self):
+        # 20 -> 60 MiB is a 3x ratio but both sit under the 64 MiB
+        # interpreter-baseline floor.
+        assert check_trajectory(self._payload(20.0, 60.0)) == []
+        assert check_trajectory(
+            self._payload(20.0, 60.0), min_mb=10.0
+        ) != []
+
+    def test_nested_rss_metrics_are_gated(self):
+        payload = self._payload(0.0, 0.0)
+        payload["entries"][0]["metrics"] = {
+            "phases": {"build_peak_rss_mb": 100.0}
+        }
+        payload["entries"][1]["metrics"] = {
+            "phases": {"build_peak_rss_mb": 300.0}
+        }
+        violations = check_trajectory(payload)
+        assert [v[0] for v in violations] == [
+            "phases.build_peak_rss_mb"
+        ]
+
+    def test_cli_reports_rss_regressions_in_mb(self, tmp_path, capsys):
+        append_entry(
+            tmp_path, "demo", {"peak_rss_mb": 100.0}, commit="a"
+        )
+        append_entry(
+            tmp_path, "demo", {"peak_rss_mb": 500.0}, commit="b"
+        )
+        assert benchstore_main(["check", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION demo.peak_rss_mb" in out
+        assert "MB" in out
+        # A generous --min-mb floor waves the same growth through.
+        assert (
+            benchstore_main(
+                ["check", str(tmp_path), "--min-mb", "1000"]
+            )
+            == 0
+        )
+
+
+class TestObsPayload:
+    def test_obs_payload_is_stored_and_never_gated(self, tmp_path):
+        obs = {"counters": {"cache.hits": 3}, "gauges": {}}
+        append_entry(
+            tmp_path,
+            "demo",
+            {"sweep_wall_seconds": 0.1},
+            commit="a",
+            obs=obs,
+        )
+        append_entry(
+            tmp_path,
+            "demo",
+            {"sweep_wall_seconds": 0.1},
+            commit="b",
+            obs={"counters": {"cache.hits": 10 ** 6}},
+        )
+        payload = load_payload(
+            tmp_path / "BENCH_demo.json", "demo"
+        )
+        assert payload["entries"][0]["obs"] == obs
+        # A 10^6x counter jump in obs is invisible to the gate.
+        assert check_trajectory(payload) == []
+
+    def test_entries_without_obs_have_no_obs_key(self, tmp_path):
+        append_entry(
+            tmp_path, "demo", {"sweep_wall_seconds": 0.1}, commit="a"
+        )
+        payload = load_payload(
+            tmp_path / "BENCH_demo.json", "demo"
+        )
+        assert "obs" not in payload["entries"][0]

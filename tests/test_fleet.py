@@ -453,3 +453,102 @@ def test_lease_files_do_not_disturb_merge_or_status(
         encoding="utf-8",
     ) as handle:
         json.load(handle)  # still plain valid JSON
+
+
+class TestFleetCLIStructuredOutput:
+    """``--json`` emits machine-readable records (exit codes and the
+    human rendering are unchanged); ``--trace-dir`` writes a valid
+    ``repro.obs`` trace of the worker's lease activity."""
+
+    def _work(self, tmp_path, *extra):
+        return fleet_main(
+            [
+                "work",
+                str(tmp_path),
+                "--worker-id",
+                "cli-worker",
+                "--stale-after",
+                "0.2",
+                "--poll-interval",
+                "0.02",
+                "--deadline",
+                str(DEADLINE),
+                *extra,
+            ]
+        )
+
+    def test_work_json_record(
+        self, tmp_path, saved_manifest, capsys
+    ):
+        assert self._work(tmp_path, "--json") == 0
+        record = json.loads(
+            capsys.readouterr().out.strip().splitlines()[-1]
+        )
+        assert record["event"] == "worker_done"
+        assert record["worker_id"] == "cli-worker"
+        assert sorted(record["completed"]) == list(
+            range(saved_manifest.num_shards)
+        )
+        assert record["executed"] > 0
+
+    def test_status_and_merge_json_records(
+        self, tmp_path, saved_manifest, unsharded, capsys
+    ):
+        assert fleet_main(["status", str(tmp_path), "--json"]) == 3
+        record = json.loads(capsys.readouterr().out)
+        assert record["event"] == "fleet_status"
+        assert not record["complete"]
+        assert len(record["shards"]) == saved_manifest.num_shards
+
+        self._work(tmp_path)
+        capsys.readouterr()
+        assert fleet_main(["status", str(tmp_path), "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["complete"]
+        assert all(
+            s["state"] == "complete" for s in record["shards"]
+        )
+
+        assert fleet_main(["merge", str(tmp_path), "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        import hashlib
+
+        assert record["event"] == "merge_done"
+        assert record["fingerprint_sha256"] == hashlib.sha256(
+            unsharded.fingerprint()
+        ).hexdigest()
+        aggregate = unsharded.aggregate_metrics()
+        assert record["aggregate"]["rounds"] == aggregate.rounds
+        assert (
+            record["aggregate"]["total_bits"] == aggregate.total_bits
+        )
+        assert record["cache"] is not None
+        assert record["cache"]["hits"] >= 0
+
+    def test_trace_dir_writes_a_valid_trace(
+        self, tmp_path, saved_manifest, capsys
+    ):
+        from repro.obs import read_trace, validate_trace
+
+        trace_dir = os.path.join(str(tmp_path), "trace")
+        assert self._work(tmp_path, "--trace-dir", trace_dir) == 0
+        records = read_trace(trace_dir)
+        assert validate_trace(records) == []
+        events = {
+            r["name"] for r in records if r["kind"] == "event"
+        }
+        assert "fleet.claim" in events
+        assert "fleet.release" in events
+        spans = {
+            r.get("name")
+            for r in records
+            if r.get("kind") == "span"
+        }
+        assert "shard.run" in spans
+        # The worker embedded its final metrics snapshot.
+        (metrics,) = [
+            r for r in records if r["kind"] == "metrics"
+        ]
+        counters = metrics["data"]["counters"]
+        assert counters["fleet.claims"] >= 1
+        assert metrics["data"]["gauges"]["process.peak_rss_mb"] > 0

@@ -1,0 +1,594 @@
+"""The observability layer: tracing, metrics, reports, and the
+determinism guard.
+
+The load-bearing contract is the guard in
+:class:`TestTracingNeverPerturbs`: sweep fingerprints and instance
+digests must be byte-identical whether tracing is absent (the
+zero-overhead default), explicitly nulled, or live — tracing
+*observes* runs, it never participates in them.  The rest pins the
+trace schema (span nesting, torn-line-tolerant reads, validation),
+the registry's merge semantics (counters add, gauges max, timers
+combine), the publish hooks on :class:`RunMetrics` /
+:class:`CacheStats`, the cache-stats plumbing through sweeps and
+shard merges, and the ``python -m repro.obs`` report CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import registry as algo_registry
+from repro.congest.metrics import RunMetrics
+from repro.exec import (
+    ShardManifest,
+    SweepBackend,
+    compile_manifest,
+    grid_cells,
+    merge_shards,
+    run_shard,
+)
+from repro.exec.shards import stats_path
+from repro.obs import (
+    MetricsRegistry,
+    NULL_SPAN,
+    NullRecorder,
+    TraceRecorder,
+    disable,
+    enable,
+    iter_spans,
+    merge_snapshots,
+    read_trace,
+    recorder,
+    registry,
+    sample_peak_rss,
+    span,
+    trace_file_path,
+    tracing_active,
+    use_recorder,
+    validate_trace,
+)
+from repro.obs.__main__ import main as obs_main
+from repro.workloads import get_workload, instance_cache
+from repro.workloads.cache import CacheStats
+
+SEED = 17
+
+_SPECS = [
+    algo_registry.get_algorithm(name)
+    for name in ("trial", "greedy-oracle")
+]
+_WORKLOADS = [get_workload(name) for name in ("cycle5", "gnp24")]
+
+
+def small_grid():
+    return grid_cells(
+        specs=_SPECS, scenarios=_WORKLOADS, seeds=(SEED, SEED + 1)
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts and ends with tracing off; the global
+    registry is cleared so counter assertions are hermetic."""
+    disable()
+    registry().clear()
+    yield
+    disable()
+    registry().clear()
+
+
+# ----------------------------------------------------------------------
+# the zero-overhead default
+
+
+class TestNoOpDefault:
+    def test_no_recorder_is_the_default(self):
+        assert recorder() is None
+        assert not tracing_active()
+
+    def test_span_off_returns_the_shared_null_span(self):
+        assert span("x", a=1) is NULL_SPAN
+        assert span("y") is NULL_SPAN  # no per-call allocation
+        with span("z") as sp:
+            assert sp.annotate(rounds=3) is sp
+
+    def test_null_recorder_is_installed_but_inactive(self):
+        with use_recorder(NullRecorder()):
+            assert recorder() is not None
+            assert not tracing_active()
+            with span("x") as sp:
+                sp.annotate(a=1)  # all silently dropped
+
+    def test_use_recorder_restores_the_previous_one(self, tmp_path):
+        rec = TraceRecorder(str(tmp_path / "t.jsonl"))
+        with use_recorder(rec):
+            assert tracing_active()
+            with use_recorder(None):
+                assert recorder() is None
+            assert recorder() is rec
+        assert recorder() is None
+        rec.close()
+
+
+# ----------------------------------------------------------------------
+# the trace recorder
+
+
+class TestTraceRecorder:
+    def _trace(self, tmp_path, body):
+        path = str(tmp_path / "t.jsonl")
+        rec = TraceRecorder(path, worker="w0")
+        with use_recorder(rec):
+            body(rec)
+        rec.close()
+        return read_trace(path)
+
+    def test_meta_record_comes_first(self, tmp_path):
+        records = self._trace(tmp_path, lambda rec: None)
+        assert records[0]["kind"] == "meta"
+        assert records[0]["schema"] == 1
+        assert records[0]["worker"] == "w0"
+
+    def test_nested_spans_carry_parent_ids(self, tmp_path):
+        def body(rec):
+            with span("outer", cells=2):
+                with span("inner"):
+                    pass
+
+        records = self._trace(tmp_path, body)
+        assert validate_trace(records) == []
+        begins = {
+            r["name"]: r
+            for r in records
+            if r["kind"] == "span" and r["phase"] == "B"
+        }
+        assert "parent" not in begins["outer"]
+        assert begins["inner"]["parent"] == begins["outer"]["id"]
+        assert begins["outer"]["attrs"] == {"cells": 2}
+
+    def test_annotations_land_on_the_end_record(self, tmp_path):
+        def body(rec):
+            with span("run") as sp:
+                sp.annotate(rounds=7, halted=True)
+
+        records = self._trace(tmp_path, body)
+        (end,) = [r for r in iter_spans(records) if r["phase"] == "E"]
+        assert end["attrs"] == {"rounds": 7, "halted": True}
+        assert end["dur"] >= 0.0
+
+    def test_exceptions_are_recorded_not_swallowed(self, tmp_path):
+        def body(rec):
+            with pytest.raises(RuntimeError):
+                with span("run"):
+                    raise RuntimeError("boom")
+
+        records = self._trace(tmp_path, body)
+        assert validate_trace(records) == []
+        (end,) = list(iter_spans(records))
+        assert end["attrs"]["error"] == "RuntimeError"
+
+    def test_complete_spans_nest_under_the_open_span(self, tmp_path):
+        def body(rec):
+            with span("outer"):
+                t0 = rec.clock()
+                rec.complete("leaf", t0, {"n": 5})
+
+        records = self._trace(tmp_path, body)
+        assert validate_trace(records) == []
+        (leaf,) = [r for r in records if r.get("name") == "leaf"]
+        outer_b = next(
+            r
+            for r in records
+            if r.get("name") == "outer" and r["phase"] == "B"
+        )
+        assert leaf["phase"] == "X"
+        assert leaf["parent"] == outer_b["id"]
+        assert leaf["attrs"] == {"n": 5}
+
+    def test_events_and_metrics_records(self, tmp_path):
+        def body(rec):
+            rec.event("fleet.claim", {"shard": 0})
+            rec.metrics({"counters": {"cache.hits": 3}})
+
+        records = self._trace(tmp_path, body)
+        assert validate_trace(records) == []
+        kinds = [r["kind"] for r in records]
+        assert kinds == ["meta", "event", "metrics"]
+
+    def test_trace_file_path_is_unique_per_worker(self, tmp_path):
+        a = trace_file_path(str(tmp_path), worker="w-1")
+        b = trace_file_path(str(tmp_path), worker="w/2")
+        assert a != b
+        assert a.endswith(".jsonl") and b.endswith(".jsonl")
+        assert "/" not in b.rsplit("trace-", 1)[1]
+
+    def test_enable_into_a_directory(self, tmp_path):
+        rec = enable(str(tmp_path), worker="w3")
+        try:
+            span("x").__enter__().__exit__(None, None, None)
+        finally:
+            disable()
+        records = read_trace(str(tmp_path))
+        assert validate_trace(records) == []
+        assert any(r.get("name") == "x" for r in records)
+
+
+# ----------------------------------------------------------------------
+# reading and validating
+
+
+class TestReadAndValidate:
+    def _write(self, path, text):
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        path = self._write(
+            tmp_path / "t.jsonl",
+            '{"kind":"event","name":"a","t":1.0}\n'
+            '{"kind":"event","na',  # the killed-mid-write tail
+        )
+        records = read_trace(path)
+        assert [r["name"] for r in records] == ["a"]
+        # strict mode still tolerates the torn tail...
+        assert len(read_trace(path, strict=True)) == 1
+
+    def test_strict_mode_raises_on_interior_damage(self, tmp_path):
+        path = self._write(
+            tmp_path / "t.jsonl",
+            '{"kind":"event","name":"a","t":1.0}\n'
+            "garbage line\n"
+            '{"kind":"event","name":"b","t":2.0}\n',
+        )
+        assert [r["name"] for r in read_trace(path)] == ["a", "b"]
+        with pytest.raises(ValueError, match="damaged trace line 2"):
+            read_trace(path, strict=True)
+
+    def test_validate_flags_schema_problems(self):
+        problems = validate_trace(
+            [
+                {"kind": "wat"},
+                {"kind": "span", "phase": "Q", "name": "x", "t": 1.0},
+                {
+                    "kind": "span",
+                    "phase": "E",
+                    "id": 9,
+                    "name": "x",
+                    "t": 1.0,
+                    "dur": 0.1,
+                },
+                {"kind": "event", "t": 1.0},
+            ]
+        )
+        assert any("unknown kind" in p for p in problems)
+        assert any("bad span phase" in p for p in problems)
+        assert any("without a matching B" in p for p in problems)
+        assert any("without a name" in p for p in problems)
+
+    def test_validate_flags_unclosed_spans(self):
+        problems = validate_trace(
+            [
+                {
+                    "kind": "span",
+                    "phase": "B",
+                    "id": 1,
+                    "name": "x",
+                    "t": 1.0,
+                }
+            ]
+        )
+        assert problems == ["span 1 ('x') opened but never closed"]
+
+    def test_directory_reads_merge_all_worker_files(self, tmp_path):
+        for worker in ("a", "b"):
+            rec = TraceRecorder(
+                trace_file_path(str(tmp_path), worker=worker),
+                worker=worker,
+            )
+            rec.event(f"from-{worker}")
+            rec.close()
+        records = read_trace(str(tmp_path))
+        names = {r["name"] for r in records if r["kind"] == "event"}
+        assert names == {"from-a", "from-b"}
+        assert validate_trace(records) == []
+
+
+# ----------------------------------------------------------------------
+# the determinism guard: tracing never perturbs results
+
+
+class TestTracingNeverPerturbs:
+    def _run(self):
+        cache = instance_cache()
+        cache.clear()
+        sweep = SweepBackend(executor="serial").run_grid(small_grid())
+        digests = tuple(
+            cache.get(w.name, s).digest()
+            for w in _WORKLOADS
+            for s in (SEED, SEED + 1)
+        )
+        return sweep, digests
+
+    def test_fingerprints_identical_off_null_and_live(self, tmp_path):
+        plain_sweep, plain_digests = self._run()
+
+        with use_recorder(NullRecorder()):
+            null_sweep, null_digests = self._run()
+
+        rec = TraceRecorder(str(tmp_path / "t.jsonl"))
+        with use_recorder(rec):
+            live_sweep, live_digests = self._run()
+        rec.close()
+
+        assert null_sweep.fingerprint() == plain_sweep.fingerprint()
+        assert live_sweep.fingerprint() == plain_sweep.fingerprint()
+        assert null_digests == plain_digests
+        assert live_digests == plain_digests
+        assert repr(live_sweep.aggregate_metrics()) == repr(
+            plain_sweep.aggregate_metrics()
+        )
+        # ... and the live run actually produced a valid trace with
+        # the sweep/exec span taxonomy in it.
+        records = read_trace(str(tmp_path / "t.jsonl"))
+        assert validate_trace(records) == []
+        names = {r.get("name") for r in iter_spans(records)}
+        assert {"sweep.grid", "sweep.prebuild", "sweep.cell"} <= names
+        assert "exec.run" in names or "exec.kernel" in names
+
+
+# ----------------------------------------------------------------------
+# the metrics registry
+
+
+class TestMetricsRegistry:
+    def test_instruments_accumulate(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        reg.gauge("g").set(2.0)
+        reg.gauge("g").set_max(1.0)  # below the high-water mark
+        reg.timer("t").observe(0.5)
+        with reg.timer("t").time():
+            pass
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 5}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["timers"]["t"]["count"] == 2
+        assert snap["timers"]["t"]["max"] == 0.5
+        assert len(reg) == 3
+
+    def test_a_name_is_one_kind_only(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.timer("x")
+
+    def test_merge_semantics(self):
+        a = {
+            "counters": {"c": 2},
+            "gauges": {"g": 700.0},
+            "timers": {"t": {"count": 1, "total": 1.0, "max": 1.0}},
+        }
+        b = {
+            "counters": {"c": 3, "d": 1},
+            "gauges": {"g": 500.0},
+            "timers": {"t": {"count": 2, "total": 0.5, "max": 0.4}},
+        }
+        merged = merge_snapshots(a, b)
+        assert merged["counters"] == {"c": 5, "d": 1}
+        assert merged["gauges"] == {"g": 700.0}  # max, not sum
+        assert merged["timers"]["t"] == {
+            "count": 3,
+            "total": 1.5,
+            "max": 1.0,
+        }
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b.z").inc()
+        reg.counter("a.y").inc()
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert list(snap["counters"]) == ["a.y", "b.z"]
+
+    def test_sample_peak_rss_records_a_gauge(self):
+        reg = MetricsRegistry()
+        value = sample_peak_rss(target=reg)
+        snap = reg.snapshot()
+        assert snap["gauges"]["process.peak_rss_mb"] == value
+        assert value > 0.0  # linux container has getrusage
+
+
+# ----------------------------------------------------------------------
+# the publish hooks
+
+
+class TestPublishHooks:
+    def test_run_metrics_publish(self):
+        reg = MetricsRegistry()
+        metrics = RunMetrics(
+            rounds=3,
+            total_messages=10,
+            total_bits=80,
+            max_message_bits=8,
+            violations=0,
+        )
+        metrics.publish(target=reg)
+        metrics.publish(target=reg)
+        snap = reg.snapshot()
+        assert snap["counters"]["run.runs"] == 2
+        assert snap["counters"]["run.rounds"] == 6
+        assert snap["counters"]["run.messages"] == 20
+        assert snap["counters"]["run.bits"] == 160
+        assert snap["gauges"]["run.max_message_bits"] == 8.0
+
+    def test_cache_stats_delta_add_publish(self):
+        stats = CacheStats()
+        stats.hits, stats.misses = 5, 2
+        baseline = stats.snapshot()
+        stats.hits += 3
+        stats.csr_builds += 1
+        delta = stats.delta(baseline)
+        assert delta.hits == 3 and delta.misses == 0
+        assert delta.csr_builds == 1
+
+        other = CacheStats()
+        other.hits, other.square_builds = 1, 4
+        delta.add(other)
+        assert delta.hits == 4 and delta.square_builds == 4
+
+        reg = MetricsRegistry()
+        delta.publish(target=reg)
+        snap = reg.snapshot()
+        assert snap["counters"]["cache.hits"] == 4
+        assert snap["counters"]["cache.csr_builds"] == 1
+        assert "cache.misses" not in snap["counters"]  # zero: omitted
+
+
+# ----------------------------------------------------------------------
+# cache stats through sweeps and shard merges
+
+
+class TestSweepCacheStats:
+    def test_run_grid_attaches_the_cache_delta(self):
+        instance_cache().clear()
+        sweep = SweepBackend(executor="serial").run_grid(small_grid())
+        assert sweep.cache_stats is not None
+        # The prebuild installs instances, the cells then resolve
+        # them from the cache — the delta must show that activity.
+        assert sweep.cache_stats.hits > 0
+
+        metrics = sweep.aggregate_metrics()
+        assert metrics.cache_stats is sweep.cache_stats
+        # The determinism contract: the attached stats must never
+        # leak into the dataclass repr that feeds fingerprints.
+        assert "cache" not in repr(metrics)
+
+    def test_cache_stats_never_feed_the_fingerprint(self):
+        sweep = SweepBackend(executor="serial").run_grid(small_grid())
+        fp = sweep.fingerprint()
+        sweep.cache_stats = CacheStats()
+        sweep.cache_stats.hits = 10 ** 9
+        assert sweep.fingerprint() == fp
+
+    def test_shard_merge_sums_the_sidecars(self, tmp_path):
+        manifest = compile_manifest(small_grid(), 2)
+        manifest.save(str(tmp_path))
+        for shard in (0, 1):
+            run_shard(manifest, shard, str(tmp_path))
+            sidecar = stats_path(str(tmp_path), shard)
+            data = json.loads(
+                open(sidecar, encoding="utf-8").read()
+            )
+            assert all(
+                isinstance(v, int) and v >= 0 for v in data.values()
+            )
+        merged = merge_shards(manifest, str(tmp_path))
+        assert merged.cache_stats is not None
+        assert sum(merged.cache_stats.snapshot().values()) > 0
+
+    def test_resume_accumulates_into_the_sidecar(self, tmp_path):
+        manifest = compile_manifest(small_grid(), 1)
+        manifest.save(str(tmp_path))
+        run_shard(manifest, 0, str(tmp_path), max_cells=2)
+        first = json.loads(
+            open(
+                stats_path(str(tmp_path), 0), encoding="utf-8"
+            ).read()
+        )
+        run_shard(manifest, 0, str(tmp_path))
+        final = json.loads(
+            open(
+                stats_path(str(tmp_path), 0), encoding="utf-8"
+            ).read()
+        )
+        for key, value in first.items():
+            assert final.get(key, 0) >= value
+
+    def test_torn_sidecar_never_blocks_a_merge(self, tmp_path):
+        manifest = compile_manifest(small_grid(), 2)
+        manifest.save(str(tmp_path))
+        for shard in (0, 1):
+            run_shard(manifest, shard, str(tmp_path))
+        with open(stats_path(str(tmp_path), 0), "w") as handle:
+            handle.write('{"hits": 3, "mis')  # torn mid-write
+        merged = merge_shards(manifest, str(tmp_path))
+        assert merged.ok
+        # Shard 1's sidecar still contributes.
+        assert merged.cache_stats is not None
+
+
+# ----------------------------------------------------------------------
+# the report CLI
+
+
+class TestObsCli:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        rec = TraceRecorder(path, worker="w0")
+        with use_recorder(rec):
+            with span("sweep.grid", cells=2):
+                t0 = rec.clock()
+                rec.complete(
+                    "exec.run",
+                    t0,
+                    {"rounds": 4, "messages": 20, "bits": 160},
+                )
+            rec.event("fleet.claim", {"shard": 0, "worker": "w0"})
+            rec.event("fleet.release", {"shard": 0, "worker": "w0"})
+            rec.metrics(
+                {"counters": {"cache.hits": 3, "cache.misses": 1}}
+            )
+        rec.close()
+        return path
+
+    def test_summary_renders_spans_and_metrics(
+        self, trace_path, capsys
+    ):
+        assert obs_main(["summary", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "sweep.grid" in out and "exec.run" in out
+        assert "cache.hits" in out
+
+    def test_phases_table(self, trace_path, capsys):
+        assert obs_main(["phases", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "exec.run" in out and "20" in out
+
+    def test_cache_breakdown_derives_hit_rate(
+        self, trace_path, capsys
+    ):
+        assert obs_main(["cache", "--json", trace_path]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["hits"] == 3 and data["misses"] == 1
+        assert data["hit_rate"] == 0.75
+
+    def test_fleet_rollup(self, trace_path, capsys):
+        assert obs_main(["fleet", "--json", trace_path]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data == {
+            "0": {
+                "claims": 1,
+                "reclaims": 0,
+                "heartbeats": 0,
+                "releases": 1,
+                "lost": 0,
+            }
+        }
+
+    def test_validate_exit_codes(self, trace_path, tmp_path, capsys):
+        assert obs_main(["validate", trace_path]) == 0
+        assert "trace ok" in capsys.readouterr().out
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind":"wat"}\n', encoding="utf-8")
+        assert obs_main(["validate", str(bad)]) == 5
+        assert "unknown kind" in capsys.readouterr().out
+
+    def test_missing_trace_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert obs_main(["summary", missing]) == 2
+        assert capsys.readouterr().err
